@@ -1,0 +1,22 @@
+"""Benchmark-suite conftest.
+
+Each benchmark prints the table/figure it regenerated; pytest normally
+swallows stdout of passing tests, so an autouse fixture re-emits the
+captured exhibit through the uncaptured stream — ``pytest benchmarks/
+--benchmark-only | tee bench_output.txt`` then records every exhibit.
+"""
+
+import sys
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def show_exhibits(capsys):
+    """Re-emit each benchmark's printed exhibit after the test body."""
+    yield
+    captured = capsys.readouterr()
+    if captured.out:
+        with capsys.disabled():
+            sys.stdout.write(captured.out)
+            sys.stdout.flush()

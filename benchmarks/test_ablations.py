@@ -1,0 +1,260 @@
+"""Ablation benchmarks for the reproduction's design decisions.
+
+DESIGN.md documents four consequential choices made while resolving the
+paper's ambiguities; each ablation here measures the alternative so the
+decision stays evidence-backed:
+
+1. Gibbs estimator mode — consistent posterior-mean vs the pseudocode's
+   literal ratio (DESIGN.md §5.1);
+2. EM initialisation — staged vs support vs the paper's random
+   (DESIGN.md §5a);
+3. EM-Social masking — drop whole dependent cells vs drop only the
+   dependent claims while keeping dependent silences;
+4. generator mode — model-faithful cells vs literal pool sampling
+   (DESIGN.md §3);
+5. dependency ancestry policy — direct followees (the paper's Figure 1
+   semantics) vs transitive follow chains, on the empirical simulation.
+"""
+
+import numpy as np
+
+from repro.bounds import GibbsConfig, exact_bound, gibbs_bound
+from repro.core import EMConfig, EMExtEstimator, SensingProblem
+from repro.eval import score_result
+from repro.synthetic import GeneratorConfig, SyntheticGenerator, empirical_parameters
+
+
+def _datasets(config, n_trials, seed):
+    return SyntheticGenerator(config, seed=seed).generate_many(n_trials)
+
+
+# ---------------------------------------------------------------------------
+# 1. Gibbs estimator mode
+# ---------------------------------------------------------------------------
+
+def _gibbs_mode_errors(n_trials=4):
+    errors = {"posterior-mean": [], "ratio": []}
+    for index, dataset in enumerate(_datasets(GeneratorConfig(), n_trials, seed=10)):
+        params = empirical_parameters(dataset.problem).clamp(1e-4)
+        dependency = dataset.problem.dependency.values
+        exact = exact_bound(dependency, params).total
+        for mode in errors:
+            approx = gibbs_bound(
+                dependency, params,
+                config=GibbsConfig(
+                    mode=mode, min_sweeps=2000, max_sweeps=4000, tolerance=1e-5
+                ),
+                seed=index,
+            ).total
+            errors[mode].append(abs(approx - exact))
+    return {mode: float(np.mean(v)) for mode, v in errors.items()}
+
+
+def test_ablation_gibbs_estimator_mode(benchmark):
+    errors = benchmark.pedantic(_gibbs_mode_errors, rounds=1, iterations=1)
+    print(f"\nmean |approx - exact|: {errors}")
+    # The literal pseudocode accumulator is biased; the consistent
+    # estimator must not be (meaningfully) worse.
+    assert errors["posterior-mean"] <= errors["ratio"] + 0.002
+    assert errors["posterior-mean"] < 0.01
+
+
+# ---------------------------------------------------------------------------
+# 2. EM initialisation strategy
+# ---------------------------------------------------------------------------
+
+def _init_strategy_accuracy(n_trials=8):
+    accuracy = {"staged": [], "support": [], "random": []}
+    datasets = _datasets(GeneratorConfig.estimator_defaults(), n_trials, seed=20)
+    for dataset in datasets:
+        blind = dataset.problem.without_truth()
+        for strategy in accuracy:
+            result = EMExtEstimator(
+                EMConfig(init_strategy=strategy), seed=0
+            ).fit(blind)
+            accuracy[strategy].append(
+                score_result(result, dataset.problem.truth).accuracy
+            )
+    return {strategy: float(np.mean(v)) for strategy, v in accuracy.items()}
+
+
+def test_ablation_init_strategy(benchmark):
+    accuracy = benchmark.pedantic(_init_strategy_accuracy, rounds=1, iterations=1)
+    print(f"\nmean accuracy by init strategy: {accuracy}")
+    # The staged warm start is why the default beats the paper's
+    # literal random initialisation at the paper's own scale.
+    assert accuracy["staged"] >= accuracy["random"] - 0.01
+    assert accuracy["staged"] >= accuracy["support"] - 0.03
+
+
+# ---------------------------------------------------------------------------
+# 3. EM-Social masking choice
+# ---------------------------------------------------------------------------
+
+class _EMSocialClaimsOnly:
+    """The rejected alternative: mask dependent claims, keep dependent
+    silences as independent evidence."""
+
+    def __init__(self, seed):
+        from repro.baselines.em_independent import EMSocial
+
+        class _Variant(EMSocial):
+            algorithm_name = "em-social-claims-only"
+
+            def _mask(self, problem):
+                sc = problem.claims.values
+                dep = problem.dependency.values
+                return 1.0 - (sc & dep).astype(np.float64)
+
+        self._finder = _Variant(seed=seed)
+
+    def fit(self, problem: SensingProblem):
+        return self._finder.fit(problem)
+
+
+def _masking_accuracy(n_trials=8):
+    from repro.baselines import EMSocial
+
+    accuracy = {"cells": [], "claims-only": []}
+    datasets = _datasets(GeneratorConfig.estimator_defaults(), n_trials, seed=30)
+    for dataset in datasets:
+        blind = dataset.problem.without_truth()
+        cells = EMSocial(seed=0).fit(blind)
+        claims_only = _EMSocialClaimsOnly(seed=0).fit(blind)
+        accuracy["cells"].append(score_result(cells, dataset.problem.truth).accuracy)
+        accuracy["claims-only"].append(
+            score_result(claims_only, dataset.problem.truth).accuracy
+        )
+    return {name: float(np.mean(v)) for name, v in accuracy.items()}
+
+
+def test_ablation_em_social_masking(benchmark):
+    accuracy = benchmark.pedantic(_masking_accuracy, rounds=1, iterations=1)
+    print(f"\nmean accuracy by masking choice: {accuracy}")
+    # Keeping dependent silences as independent evidence biases the
+    # estimator toward "false"; whole-cell masking must win.
+    assert accuracy["cells"] >= accuracy["claims-only"]
+
+
+# ---------------------------------------------------------------------------
+# 3b. Per-source vs pooled parameters
+# ---------------------------------------------------------------------------
+
+def _pooled_vs_per_source(config, n_trials, seed):
+    from repro.baselines import PooledEMExt
+    from repro.core import EMExtEstimator
+
+    accuracy = {"per-source": [], "pooled": []}
+    for dataset in _datasets(config, n_trials, seed=seed):
+        blind = dataset.problem.without_truth()
+        truth = dataset.problem.truth
+        ext = EMExtEstimator(seed=0).fit(blind)
+        pooled = PooledEMExt().fit(blind)
+        accuracy["per-source"].append(float((ext.decisions == truth).mean()))
+        accuracy["pooled"].append(float((pooled.decisions == truth).mean()))
+    return {name: float(np.mean(v)) for name, v in accuracy.items()}
+
+
+def _per_source_regimes():
+    paper_scale = _pooled_vs_per_source(
+        GeneratorConfig.estimator_defaults(), n_trials=8, seed=35
+    )
+    heterogeneous = _pooled_vs_per_source(
+        GeneratorConfig(
+            n_sources=40, n_assertions=200, n_trees=40,
+            p_indep_true=(0.45, 0.95),
+        ),
+        n_trials=4,
+        seed=36,
+    )
+    return {"paper-scale": paper_scale, "heterogeneous-rich": heterogeneous}
+
+
+def test_ablation_per_source_parameters(benchmark):
+    regimes = benchmark.pedantic(_per_source_regimes, rounds=1, iterations=1)
+    print(f"\nmean accuracy, per-source vs pooled θ, by regime: {regimes}")
+    # Honest finding: at the paper's own scale (m = 50 for 4n + 1 free
+    # parameters, mild heterogeneity) the 5-parameter pooled model is
+    # *more* accurate — the per-source estimates are underdetermined.
+    assert regimes["paper-scale"]["pooled"] >= (
+        regimes["paper-scale"]["per-source"] - 0.01
+    )
+    # Per-source modelling earns its parameters once sources are widely
+    # heterogeneous and assertions are plentiful.
+    assert regimes["heterogeneous-rich"]["per-source"] >= (
+        regimes["heterogeneous-rich"]["pooled"] - 0.01
+    )
+
+
+# ---------------------------------------------------------------------------
+# 4. Generator mode
+# ---------------------------------------------------------------------------
+
+def _generator_mode_discrimination(n_trials=6):
+    """Pooled discrimination odds mean(a)/mean(b) implied by each mode.
+
+    Pooled (not per-source) because sparse per-source rate estimates hit
+    zero and a mean of clamped ratios explodes.
+    """
+    odds = {}
+    for mode in ("cell", "pool"):
+        values = []
+        config = GeneratorConfig(mode=mode, p_indep_true=(2 / 3, 2 / 3))
+        for dataset in _datasets(config, n_trials, seed=40):
+            params = empirical_parameters(dataset.problem)
+            values.append(float(params.a.mean() / max(params.b.mean(), 1e-9)))
+        odds[mode] = float(np.mean(values))
+    return odds
+
+
+def test_ablation_generator_mode(benchmark):
+    odds = benchmark.pedantic(_generator_mode_discrimination, rounds=1, iterations=1)
+    print(f"\nmean empirical a/b odds by generator mode (knob = 2.0): {odds}")
+    # Cell mode realises the paper's odds knob; pool mode dilutes it
+    # toward (or past) 1 because the unequal pool sizes cancel the bias.
+    assert abs(odds["cell"] - 2.0) < 0.5
+    assert odds["cell"] > odds["pool"]
+
+
+# ---------------------------------------------------------------------------
+# 5. Dependency ancestry policy
+# ---------------------------------------------------------------------------
+
+def _ancestry_policy_comparison(n_seeds=3):
+    from repro.core import EMConfig, EMExtEstimator
+    from repro.datasets import simulate_dataset
+    from repro.pipeline import SimulatedGrader, grade_top_k
+
+    ratios = {"direct": [], "transitive": []}
+    dependent_fraction = {"direct": [], "transitive": []}
+    for seed in range(n_seeds):
+        dataset = simulate_dataset("kirkuk", scale=0.25, seed=seed)
+        for policy in ratios:
+            evaluation = dataset.evaluation_slice(policy=policy)
+            dependent_fraction[policy].append(
+                evaluation.problem.dependent_claim_fraction()
+            )
+            result = EMExtEstimator(EMConfig(smoothing=1.0), seed=0).fit(
+                evaluation.problem.without_truth()
+            )
+            grader = SimulatedGrader(evaluation.labels, seed=seed)
+            report = grade_top_k({"em-ext": result}, grader, k=100, seed=seed)
+            ratios[policy].append(report["em-ext"].true_ratio)
+    return {
+        "true_ratio": {k: float(np.mean(v)) for k, v in ratios.items()},
+        "dependent_claim_fraction": {
+            k: float(np.mean(v)) for k, v in dependent_fraction.items()
+        },
+    }
+
+
+def test_ablation_ancestry_policy(benchmark):
+    outcome = benchmark.pedantic(_ancestry_policy_comparison, rounds=1, iterations=1)
+    print(f"\nancestry policy comparison: {outcome}")
+    fractions = outcome["dependent_claim_fraction"]
+    # Transitive ancestry can only widen the dependent set.
+    assert fractions["transitive"] >= fractions["direct"] - 1e-9
+    # Both policies stay in the same accuracy band — the paper's direct
+    # semantics are not load-bearing for the empirical result.
+    ratios = outcome["true_ratio"]
+    assert abs(ratios["direct"] - ratios["transitive"]) < 0.08

@@ -1,0 +1,46 @@
+"""Figure 10: estimator accuracy as the dependent discrimination odds
+``p_depT/(1 − p_depT)`` sweep 1.1 → 2.0 with independent odds fixed
+at 2.
+
+Paper shapes:
+* rising dependent odds help everyone except EM-Social (it deletes the
+  dependent claims carrying that information);
+* near odds = 1 dependent claims are uninformative, so EM-Ext ≈
+  EM-Social;
+* when dependent odds reach the independent odds, dependent and
+  independent claims behave alike, so plain EM (more data per
+  parameter) matches or slightly beats EM-Social.
+"""
+
+import numpy as np
+
+from repro.eval import figure10_estimator_vs_odds, format_sweep
+
+
+def test_fig10_estimator_vs_odds(benchmark):
+    sweep = benchmark.pedantic(figure10_estimator_vs_odds, rounds=1, iterations=1)
+    print("\naccuracy:\n" + format_sweep(sweep, "accuracy"))
+
+    values = sweep.values
+    ext = np.array(sweep.curve("em-ext"))
+    em = np.array(sweep.curve("em"))
+    social = np.array(sweep.curve("em-social"))
+
+    low = values.index(1.1)
+    high = values.index(2.0)
+
+    # Rising dependent odds help EM and EM-Ext (top third vs bottom third).
+    third = len(values) // 3
+    for curve, name in ((ext, "em-ext"), (em, "em")):
+        assert curve[-third:].mean() >= curve[:third].mean() - 0.02, name
+    # EM-Social cannot benefit: its curve stays comparatively flat.
+    social_gain = social[-third:].mean() - social[:third].mean()
+    em_gain = em[-third:].mean() - em[:third].mean()
+    assert social_gain <= em_gain + 0.02
+
+    # Near odds 1: EM-Ext ≈ EM-Social (dependent claims carry nothing).
+    assert abs(ext[low] - social[low]) < 0.06
+    # At odds parity: EM performs similarly or better than EM-Social.
+    assert em[high] >= social[high] - 0.04
+    # EM-Ext leads on the sweep average.
+    assert ext.mean() >= max(em.mean(), social.mean()) - 0.01

@@ -1,0 +1,17 @@
+"""Figure 4: exact vs approximate bound as the number of dependency
+trees τ varies from 1 (one root followed by everyone) to 11.
+
+Paper shape: the approximation stays within ~0.0127 of exact across the
+whole dependency spectrum.
+"""
+
+from repro.eval import figure4_bound_vs_trees, format_bound_comparison
+
+
+def test_fig4_bound_vs_trees(benchmark):
+    rows = benchmark.pedantic(figure4_bound_vs_trees, rounds=1, iterations=1)
+    print("\n" + format_bound_comparison(rows, x_label="tau"))
+    assert [r.value for r in rows] == [float(t) for t in range(1, 12)]
+    for row in rows:
+        assert row.absolute_difference < 0.02, row
+        assert row.exact_false_positive + row.exact_false_negative > 0

@@ -1,0 +1,25 @@
+"""Figure 6: bound computation time, exact vs Gibbs approximation.
+
+Paper shape: exact enumeration explodes exponentially with the source
+count and quickly becomes intractable; the Gibbs approximation's cost
+stays roughly flat.
+"""
+
+from repro.eval import figure6_bound_timing, format_timing
+
+
+def test_fig6_bound_computation_time(benchmark):
+    rows = benchmark.pedantic(figure6_bound_timing, rounds=1, iterations=1)
+    print("\n" + format_timing(rows))
+    exact_times = [r.exact_seconds for r in rows if r.exact_seconds is not None]
+    gibbs_times = [r.gibbs_seconds for r in rows]
+    # Exponential blow-up: the largest exact computation dwarfs the smallest.
+    assert exact_times[-1] > 20 * exact_times[0]
+    # The approximation is far cheaper than exact at the crossover and
+    # stays within a modest band across all n.
+    last_exact_row = [r for r in rows if r.exact_seconds is not None][-1]
+    assert last_exact_row.gibbs_seconds < last_exact_row.exact_seconds
+    assert max(gibbs_times) < 60 * max(min(gibbs_times), 1e-3)
+    # Beyond the cutoff only the approximation is feasible (the figure's
+    # point): the largest n has no exact measurement.
+    assert rows[-1].exact_seconds is None

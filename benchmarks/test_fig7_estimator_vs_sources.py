@@ -1,0 +1,41 @@
+"""Figure 7: estimator accuracy / FP / FN as the source count grows.
+
+Paper shape: more sources help every algorithm except plain EM, whose
+false-positive handling is the worst of the three because it cannot
+discount cascades; EM-Ext tracks the Optimal ceiling most closely and
+its FN rate resembles the bound's.
+"""
+
+import numpy as np
+
+from repro.eval import OPTIMAL_KEY, figure7_estimator_vs_sources, format_sweep
+
+
+def series_mean(values):
+    return float(np.mean(values))
+
+
+def test_fig7_estimator_vs_sources(benchmark):
+    sweep = benchmark.pedantic(figure7_estimator_vs_sources, rounds=1, iterations=1)
+    print("\naccuracy:\n" + format_sweep(sweep, "accuracy"))
+    print("\nfalse positives:\n" + format_sweep(sweep, "false_positive_rate"))
+    print("\nfalse negatives:\n" + format_sweep(sweep, "false_negative_rate"))
+
+    accuracy = {name: sweep.curve(name) for name in ("em", "em-social", "em-ext", OPTIMAL_KEY)}
+    fp = {name: sweep.curve(name, "false_positive_rate") for name in ("em", "em-ext")}
+
+    # The Optimal bound dominates every estimator at every point.
+    for name in ("em", "em-social", "em-ext"):
+        for point_accuracy, ceiling in zip(accuracy[name], accuracy[OPTIMAL_KEY]):
+            assert point_accuracy <= ceiling + 0.03, name
+
+    # EM-Ext is the best estimator on average and closest to Optimal.
+    assert series_mean(accuracy["em-ext"]) >= series_mean(accuracy["em"]) - 0.01
+    assert series_mean(accuracy["em-ext"]) >= series_mean(accuracy["em-social"]) - 0.01
+
+    # EM's inability to discount dependent claims shows as the largest
+    # false-positive rate.
+    assert series_mean(fp["em"]) > series_mean(fp["em-ext"])
+
+    # More sources improve EM-Ext (first vs last sweep point).
+    assert accuracy["em-ext"][-1] >= accuracy["em-ext"][0] - 0.02

@@ -1,0 +1,39 @@
+"""Figure 8: estimator accuracy as the assertion count grows (n = 100).
+
+Paper shape: more assertions improve every algorithm, and EM-Ext's gap
+to the Optimal ceiling shrinks as assertions accumulate (the parameters
+become identifiable).
+"""
+
+import numpy as np
+
+from repro.eval import OPTIMAL_KEY, figure8_estimator_vs_assertions, format_sweep
+
+
+def series_mean(values):
+    return float(np.mean(values))
+
+
+def test_fig8_estimator_vs_assertions(benchmark):
+    sweep = benchmark.pedantic(
+        figure8_estimator_vs_assertions,
+        kwargs={"n_trials": None},
+        rounds=1,
+        iterations=1,
+    )
+    print("\naccuracy:\n" + format_sweep(sweep, "accuracy"))
+
+    ext = sweep.curve("em-ext")
+    optimal = sweep.curve(OPTIMAL_KEY)
+
+    # Growth: the second half of the sweep beats the first half for
+    # every estimator.
+    for name in ("em", "em-social", "em-ext"):
+        curve = sweep.curve(name)
+        half = len(curve) // 2
+        assert series_mean(curve[half:]) >= series_mean(curve[:half]) - 0.02, name
+
+    # The EM-Ext → Optimal gap shrinks with more assertions.
+    gaps = [ceiling - accuracy for accuracy, ceiling in zip(ext, optimal)]
+    half = len(gaps) // 2
+    assert series_mean(gaps[half:]) <= series_mean(gaps[:half]) + 0.02

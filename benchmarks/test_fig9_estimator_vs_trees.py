@@ -1,0 +1,30 @@
+"""Figure 9: estimator accuracy as the number of dependency trees τ
+varies (τ = 1 → one root followed by everyone; τ = 11 → weak
+dependency).
+
+Paper shape: EM-Ext outperforms the other two algorithms across the
+board.
+"""
+
+import numpy as np
+
+from repro.eval import OPTIMAL_KEY, figure9_estimator_vs_trees, format_sweep
+
+
+def test_fig9_estimator_vs_trees(benchmark):
+    sweep = benchmark.pedantic(figure9_estimator_vs_trees, rounds=1, iterations=1)
+    print("\naccuracy:\n" + format_sweep(sweep, "accuracy"))
+
+    ext = np.array(sweep.curve("em-ext"))
+    em = np.array(sweep.curve("em"))
+    social = np.array(sweep.curve("em-social"))
+    optimal = np.array(sweep.curve(OPTIMAL_KEY))
+
+    # Across the board: EM-Ext at least matches both baselines on the
+    # sweep average, and never falls far behind pointwise.
+    assert ext.mean() >= em.mean() - 0.01
+    assert ext.mean() >= social.mean() - 0.01
+    assert (ext >= em - 0.06).all()
+    assert (ext >= social - 0.06).all()
+    # And stays below the bound.
+    assert (ext <= optimal + 0.03).all()

@@ -1,0 +1,23 @@
+"""Table I: the 3-source error-bound walk-through (Section III-A).
+
+The paper enumerates all eight claim patterns of a 3-source example and
+derives ``Err = 0.26980433``.  This benchmark recomputes the bound from
+the table's per-pattern likelihoods and checks the exact value.
+"""
+
+import pytest
+
+from repro.eval import TABLE1_EXPECTED_BOUND, table1_walkthrough
+
+
+def test_table1_walkthrough(benchmark):
+    result = benchmark(table1_walkthrough)
+    print(
+        f"\nTable I bound: {result.total:.8f} "
+        f"(paper: {TABLE1_EXPECTED_BOUND:.8f}) "
+        f"FP share {result.false_positive:.8f}, FN share {result.false_negative:.8f}"
+    )
+    # This is the one exhibit that reproduces to the digit: the paper
+    # publishes the full input table.
+    assert result.total == pytest.approx(TABLE1_EXPECTED_BOUND, abs=1e-8)
+    assert result.false_positive + result.false_negative == pytest.approx(result.total)

@@ -1,0 +1,86 @@
+"""Exploring the fundamental error bound (Section III).
+
+Shows: exact vs Gibbs-approximated bounds with their FP/FN split, how
+the dependency structure (number of trees τ) moves the bound, and
+Cramér–Rao confidence intervals on the parameters a fitted estimator
+reports.
+
+Run:
+    python examples/error_bound_analysis.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import EMExtEstimator, GeneratorConfig, generate_dataset
+from repro.bounds import GibbsConfig, exact_bound, gibbs_bound, parameter_confidence
+from repro.synthetic import empirical_parameters
+
+
+def bound_vs_trees() -> None:
+    print("bound vs dependency structure (tau = number of trees):")
+    print(f"{'tau':>4} {'exact':>8} {'gibbs':>8} {'|diff|':>8} {'FP':>8} {'FN':>8}")
+    for tau in (1, 3, 5, 8, 12, 20):
+        config = GeneratorConfig(n_trees=(tau, tau))
+        dataset = generate_dataset(config, seed=tau)
+        params = empirical_parameters(dataset.problem).clamp(1e-4)
+        dependency = dataset.problem.dependency.values
+        exact = exact_bound(dependency, params)
+        approx = gibbs_bound(
+            dependency, params,
+            config=GibbsConfig(min_sweeps=800, max_sweeps=4000), seed=tau,
+        )
+        print(
+            f"{tau:>4} {exact.total:>8.4f} {approx.total:>8.4f} "
+            f"{abs(exact.total - approx.total):>8.4f} "
+            f"{exact.false_positive:>8.4f} {exact.false_negative:>8.4f}"
+        )
+
+
+def tractability() -> None:
+    print("\nexact enumeration cost explodes; Gibbs stays flat:")
+    print(f"{'n':>4} {'exact (s)':>10} {'gibbs (s)':>10}")
+    for n in (10, 16, 22):
+        config = GeneratorConfig(n_sources=n, n_trees=(min(8, n), min(8, n)))
+        dataset = generate_dataset(config, seed=n)
+        params = empirical_parameters(dataset.problem).clamp(1e-4)
+        dependency = dataset.problem.dependency.values
+        start = time.perf_counter()
+        exact_bound(dependency, params)
+        exact_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        gibbs_bound(dependency, params, seed=n)
+        gibbs_seconds = time.perf_counter() - start
+        print(f"{n:>4} {exact_seconds:>10.3f} {gibbs_seconds:>10.3f}")
+
+
+def parameter_intervals() -> None:
+    print("\nCramér-Rao confidence intervals on fitted parameters:")
+    dataset = generate_dataset(GeneratorConfig(n_assertions=200), seed=0)
+    blind = dataset.problem.without_truth()
+    result = EMExtEstimator(seed=0).fit(blind)
+    confidence = parameter_confidence(
+        blind, result.parameters, result.scores, confidence=0.95
+    )
+    widths_a = confidence.interval_width("a")
+    widths_f = confidence.interval_width("f")
+    print(
+        f"  a: mean 95% interval width {widths_a.mean():.3f} "
+        f"(dense independent partitions)"
+    )
+    print(
+        f"  f: mean 95% interval width "
+        f"{widths_f[np.isfinite(widths_f)].mean():.3f} "
+        f"(sparser dependent partitions are less certain)"
+    )
+
+
+def main() -> None:
+    bound_vs_trees()
+    tractability()
+    parameter_intervals()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Streaming fact-finding over a live claim stream (extension).
+
+Claims arrive in hourly batches; the streaming estimator keeps decayed
+sufficient statistics for every source, so each batch is judged with
+everything learned from the past instead of from scratch.
+
+Run:
+    python examples/streaming_estimation.py
+"""
+
+import numpy as np
+
+from repro import EMExtEstimator, GeneratorConfig
+from repro.extensions import StreamingEMExt
+from repro.synthetic import SyntheticGenerator
+
+
+def main() -> None:
+    n_sources = 30
+    config = GeneratorConfig(n_sources=n_sources, n_assertions=40, n_trees=(10, 12))
+    generator = SyntheticGenerator(config, seed=8)
+    batches = generator.generate_many(10)
+
+    stream = StreamingEMExt(n_sources=n_sources, decay=0.98, seed=0)
+    print(f"{'batch':>6} {'streaming acc':>14} {'cold-start acc':>15}")
+    streaming_history = []
+    cold_history = []
+    for index, dataset in enumerate(batches):
+        blind = dataset.problem.without_truth()
+        truth = dataset.problem.truth
+
+        result = stream.partial_fit(blind)
+        streaming_accuracy = float((result.decisions == truth).mean())
+
+        # Baseline: refit EM-Ext from scratch on this batch alone.
+        cold = EMExtEstimator(seed=0).fit(blind)
+        cold_accuracy = float((cold.decisions == truth).mean())
+
+        streaming_history.append(streaming_accuracy)
+        cold_history.append(cold_accuracy)
+        print(f"{index:>6} {streaming_accuracy:>14.3f} {cold_accuracy:>15.3f}")
+
+    print(
+        f"\nlate-stream mean (batches 5+): streaming "
+        f"{np.mean(streaming_history[5:]):.3f} vs cold-start "
+        f"{np.mean(cold_history[5:]):.3f}"
+    )
+    print(
+        "the streaming estimator amortises source-behaviour learning "
+        "across batches,\nwhile the cold-start baseline relearns "
+        f"{4 * n_sources + 1} parameters per batch."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""The paper's Figure 1 scenario, built from the network substrate.
+
+John follows Sally on Twitter but not Heather.  Sally and Heather
+independently report congestion; John repeats Sally's report (a
+*dependent* claim) and independently reports University Ave.  This
+script assembles that event stream, extracts the dependency indicators,
+and shows how the dependency-aware posterior differs from the
+independence-assuming one.
+
+Run:
+    python examples/traffic_congestion.py
+"""
+
+import numpy as np
+
+from repro import FollowGraph, SensingProblem, SourceParameters, posterior_truth
+from repro.network import EventLog, Post, build_problem, dependency_summary
+
+JOHN, SALLY, HEATHER = 0, 1, 2
+MAIN_ST, UNIVERSITY_AVE = 0, 1
+NAMES = {JOHN: "John", SALLY: "Sally", HEATHER: "Heather"}
+STREETS = {MAIN_ST: "Main Street", UNIVERSITY_AVE: "University Ave"}
+
+
+def main() -> None:
+    # Who influences whom: an edge follower -> followee.
+    graph = FollowGraph.from_edges(3, [(JOHN, SALLY)])
+
+    # The morning's tweets, in the paper's order (t1 < t2 < t3).
+    log = EventLog(
+        posts=[
+            Post(post_id=0, source=SALLY, assertion=MAIN_ST, time=1.0,
+                 text="Main Street, Urbana, IL is congested"),
+            Post(post_id=1, source=HEATHER, assertion=UNIVERSITY_AVE, time=1.0,
+                 text="University Ave., Urbana, IL is congested"),
+            Post(post_id=2, source=JOHN, assertion=MAIN_ST, time=2.0),
+            Post(post_id=3, source=JOHN, assertion=UNIVERSITY_AVE, time=3.0),
+        ]
+    )
+
+    problem = build_problem(log, graph, n_assertions=2)
+    print("source-claim matrix SC:")
+    print(problem.claims.values)
+    print("\ndependency indicators D (1 = the paper's D_ij = 1):")
+    print(problem.dependency.values)
+    print("\nsummary:", dependency_summary(problem))
+
+    # A channel model for the three commuters: John repeats without
+    # verifying half the time, so his dependent claims discriminate
+    # poorly (f close to g); everyone's independent claims are good.
+    params = SourceParameters(
+        a=np.array([0.7, 0.8, 0.8]),
+        b=np.array([0.15, 0.1, 0.1]),
+        f=np.array([0.65, 0.5, 0.5]),
+        g=np.array([0.45, 0.5, 0.5]),
+        z=0.5,
+    )
+
+    aware = posterior_truth(problem, params)
+    naive = posterior_truth(
+        SensingProblem.independent(problem.claims.values), params
+    )
+    print(f"\n{'street':<16} {'P(true) dep-aware':>18} {'P(true) naive':>15}")
+    for street in (MAIN_ST, UNIVERSITY_AVE):
+        print(
+            f"{STREETS[street]:<16} {aware[street]:>18.3f} {naive[street]:>15.3f}"
+        )
+    print(
+        "\nBoth streets have two supporters, so the naive model rates them "
+        "equally;\nthe dependency-aware model discounts John's repeat of "
+        "Sally and trusts\nUniversity Ave (independently corroborated) more."
+    )
+
+
+if __name__ == "__main__":
+    main()

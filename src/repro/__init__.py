@@ -1,0 +1,141 @@
+"""repro — dependency-aware social sensing.
+
+A production-quality reproduction of *"On Source Dependency Models for
+Reliable Social Sensing: Algorithms and Fundamental Error Bounds"*
+(Yao et al., ICDCS 2016): the dependency-aware EM fact-finder (EM-Ext),
+the fundamental error bound with its Gibbs approximation, six baseline
+fact-finders, the Section V-A synthetic workload generator, a simulated
+Twitter substrate with an Apollo-style fact-finding pipeline, and an
+evaluation harness regenerating every table and figure of the paper.
+
+Quickstart::
+
+    from repro import SensingProblem, EMExtEstimator, generate_dataset
+
+    dataset = generate_dataset(seed=42)
+    result = EMExtEstimator(seed=0).fit(dataset.problem.without_truth())
+    print(result.decisions)
+"""
+
+from repro.baselines import (
+    ALGORITHM_REGISTRY,
+    EMPIRICAL_ALGORITHMS,
+    SIMULATION_ALGORITHMS,
+    AverageLog,
+    EMIndependent,
+    EMSocial,
+    FactFinder,
+    Sums,
+    TruthFinder,
+    Voting,
+    make_fact_finder,
+)
+from repro.bounds import (
+    BoundResult,
+    GibbsConfig,
+    exact_bound,
+    exact_column_bound,
+    gibbs_bound,
+    gibbs_column_bound,
+    parameter_confidence,
+)
+from repro.core import (
+    DependencyMatrix,
+    EMConfig,
+    EMExtEstimator,
+    EstimationResult,
+    FactFindingResult,
+    SensingProblem,
+    SourceClaimMatrix,
+    SourceParameters,
+    posterior_truth,
+    run_em_ext,
+)
+from repro.network import (
+    EventLog,
+    FollowGraph,
+    Post,
+    build_problem,
+    extract_dependency,
+    level_two_forest,
+    preferential_attachment,
+)
+from repro.datasets import (
+    DATASET_ORDER,
+    AssertionLabel,
+    TwitterSimulator,
+    simulate_dataset,
+)
+from repro.eval import (
+    classification_metrics,
+    run_simulation,
+    run_sweep,
+    score_result,
+)
+from repro.extensions import StreamingEMExt
+from repro.pipeline import ApolloPipeline, SimulatedGrader, grade_top_k
+from repro.synthetic import (
+    GeneratorConfig,
+    SyntheticDataset,
+    SyntheticGenerator,
+    empirical_parameters,
+    generate_dataset,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALGORITHM_REGISTRY",
+    "ApolloPipeline",
+    "AssertionLabel",
+    "AverageLog",
+    "BoundResult",
+    "DATASET_ORDER",
+    "DependencyMatrix",
+    "EMConfig",
+    "EMExtEstimator",
+    "EMIndependent",
+    "EMPIRICAL_ALGORITHMS",
+    "EMSocial",
+    "EstimationResult",
+    "EventLog",
+    "FactFinder",
+    "FactFindingResult",
+    "FollowGraph",
+    "GeneratorConfig",
+    "GibbsConfig",
+    "Post",
+    "SIMULATION_ALGORITHMS",
+    "SensingProblem",
+    "SimulatedGrader",
+    "SourceClaimMatrix",
+    "SourceParameters",
+    "StreamingEMExt",
+    "Sums",
+    "SyntheticDataset",
+    "SyntheticGenerator",
+    "TruthFinder",
+    "TwitterSimulator",
+    "Voting",
+    "__version__",
+    "build_problem",
+    "classification_metrics",
+    "empirical_parameters",
+    "exact_bound",
+    "exact_column_bound",
+    "extract_dependency",
+    "generate_dataset",
+    "gibbs_bound",
+    "gibbs_column_bound",
+    "grade_top_k",
+    "level_two_forest",
+    "make_fact_finder",
+    "parameter_confidence",
+    "posterior_truth",
+    "preferential_attachment",
+    "run_em_ext",
+    "run_simulation",
+    "run_sweep",
+    "score_result",
+    "simulate_dataset",
+]

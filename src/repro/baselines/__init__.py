@@ -1,0 +1,80 @@
+"""Baseline fact-finders the paper evaluates against (Section V).
+
+Provides the six baselines plus a registry that also exposes the
+paper's own EM-Ext under the common :class:`FactFinder` interface, so
+the evaluation harness can iterate over algorithms by name.
+"""
+
+from typing import Dict, List, Type
+
+from repro.baselines.base import FactFinder, threshold_decisions
+from repro.baselines.em_independent import EMIndependent, EMSocial, IndependentParameters
+from repro.baselines.pooled import PooledEMExt
+from repro.baselines.sums import AverageLog, Sums
+from repro.baselines.truthfinder import TruthFinder
+from repro.baselines.voting import Voting
+from repro.core.em_ext import EMExtEstimator
+from repro.utils.errors import ValidationError
+
+#: Registry of all algorithm classes keyed by ``algorithm_name``.
+ALGORITHM_REGISTRY: Dict[str, Type[FactFinder]] = {
+    cls.algorithm_name: cls
+    for cls in (
+        Voting,
+        Sums,
+        AverageLog,
+        TruthFinder,
+        EMIndependent,
+        EMSocial,
+        EMExtEstimator,
+        PooledEMExt,
+    )
+}
+
+#: The seven algorithms of the empirical evaluation (Figure 11), in the
+#: order the paper lists them.
+EMPIRICAL_ALGORITHMS: List[str] = [
+    "voting",
+    "sums",
+    "average-log",
+    "truthfinder",
+    "em",
+    "em-social",
+    "em-ext",
+]
+
+#: The four algorithms of the synthetic estimator simulations (Figures
+#: 7–10); "optimal" is the transformed error bound, handled separately
+#: by the harness.
+SIMULATION_ALGORITHMS: List[str] = ["em", "em-social", "em-ext"]
+
+
+def make_fact_finder(name: str, **kwargs) -> FactFinder:
+    """Instantiate a registered algorithm by name.
+
+    Keyword arguments are forwarded to the algorithm constructor (e.g.
+    ``seed=...`` for the EM family).
+    """
+    if name not in ALGORITHM_REGISTRY:
+        raise ValidationError(
+            f"unknown algorithm {name!r}; available: {sorted(ALGORITHM_REGISTRY)}"
+        )
+    return ALGORITHM_REGISTRY[name](**kwargs)
+
+
+__all__ = [
+    "ALGORITHM_REGISTRY",
+    "AverageLog",
+    "EMIndependent",
+    "EMPIRICAL_ALGORITHMS",
+    "EMSocial",
+    "FactFinder",
+    "IndependentParameters",
+    "PooledEMExt",
+    "SIMULATION_ALGORITHMS",
+    "Sums",
+    "TruthFinder",
+    "Voting",
+    "make_fact_finder",
+    "threshold_decisions",
+]

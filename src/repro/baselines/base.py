@@ -1,0 +1,57 @@
+"""Common fact-finder interface shared by all algorithms.
+
+The evaluation section of the paper compares seven algorithms — EM-Ext,
+EM (IPSN 2012), EM-Social (IPSN 2014), Voting, Sums, Average·Log and
+TruthFinder.  All implement this interface: ``fit(problem)`` returns a
+:class:`~repro.core.result.FactFindingResult` whose ``scores`` rank
+assertions by credibility and whose ``decisions`` label them.
+
+Heuristic rankers have no natural probability scale, so their binary
+decisions come from :func:`threshold_decisions` — min-max normalise the
+scores and cut at 0.5.  The paper's empirical protocol (top-100
+ranking) never consults heuristic decisions, only scores; decisions are
+provided so the synthetic accuracy metrics remain well defined for
+every algorithm.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.core.matrix import SensingProblem
+from repro.core.result import FactFindingResult
+
+
+class FactFinder(ABC):
+    """Abstract base class for all fact-finding algorithms."""
+
+    #: Short machine-readable identifier (also the registry key).
+    algorithm_name: str = "abstract"
+
+    @abstractmethod
+    def fit(self, problem: SensingProblem) -> FactFindingResult:
+        """Estimate assertion credibility from claims (and dependencies)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(algorithm_name={self.algorithm_name!r})"
+
+
+def threshold_decisions(scores: np.ndarray) -> np.ndarray:
+    """Binary labels from heuristic scores: min-max normalise, cut at 0.5.
+
+    Degenerate score vectors (all equal) yield all-true labels, because
+    a ranker with no discrimination has no basis to reject anything.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.size == 0:
+        return np.zeros(0, dtype=np.int8)
+    low, high = float(scores.min()), float(scores.max())
+    if high == low:
+        return np.ones(scores.size, dtype=np.int8)
+    normalised = (scores - low) / (high - low)
+    return (normalised >= 0.5).astype(np.int8)
+
+
+__all__ = ["FactFinder", "threshold_decisions"]

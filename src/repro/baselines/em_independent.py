@@ -1,0 +1,267 @@
+"""Independence-assuming EM fact-finders: EM (IPSN 2012) and EM-Social (IPSN 2014).
+
+Both baselines model every source as a two-parameter binary channel
+(claim rate given true, claim rate given false) and assume claims are
+conditionally independent given the assertion truth:
+
+* **EM** (Wang et al., IPSN 2012) runs on the raw source-claim matrix —
+  dependency indicators are ignored entirely.  Under cascades this
+  over-counts repeated information, which is why its false-positive
+  rate grows with the number of sources (paper Figure 7).
+* **EM-Social** (Wang et al., IPSN 2014) *removes* dependent claims —
+  cells with ``SC = 1`` and ``D = 1`` are masked out of the likelihood,
+  as if the repeating source had said nothing.  This avoids the
+  over-counting but throws away whatever information the repeats carry,
+  which is the gap EM-Ext closes.
+
+Both are implemented on one masked-EM engine; EM is the special case of
+an all-ones mask.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.base import FactFinder
+from repro.core.matrix import SensingProblem
+from repro.core.model import DEFAULT_EPSILON
+from repro.core.result import EstimationResult
+from repro.core.model import ParameterTrace
+from repro.utils.errors import ValidationError
+from repro.utils.rng import RandomState, SeedLike, spawn_rngs
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class IndependentParameters:
+    """θ of the two-parameter independence model: per-source (t, b) and prior z."""
+
+    t: np.ndarray
+    b: np.ndarray
+    z: float
+
+    def clamp(self, epsilon: float = DEFAULT_EPSILON) -> "IndependentParameters":
+        """Push every probability into ``[ε, 1-ε]``."""
+        return IndependentParameters(
+            t=np.clip(self.t, epsilon, 1.0 - epsilon),
+            b=np.clip(self.b, epsilon, 1.0 - epsilon),
+            z=float(np.clip(self.z, epsilon, 1.0 - epsilon)),
+        )
+
+    def max_difference(self, other: "IndependentParameters") -> float:
+        """Largest absolute parameter change (convergence criterion)."""
+        deltas = [abs(self.z - other.z)]
+        if self.t.size:
+            deltas.append(float(np.max(np.abs(self.t - other.t))))
+            deltas.append(float(np.max(np.abs(self.b - other.b))))
+        return max(deltas)
+
+
+class _MaskedIndependentEM(FactFinder):
+    """EM on the independence model with an optional cell mask.
+
+    Masked cells contribute to neither the likelihood nor the M-step
+    counts — they are treated as *missing*, not as non-claims.
+    """
+
+    def __init__(
+        self,
+        max_iterations: int = 200,
+        tolerance: float = 1e-6,
+        epsilon: float = DEFAULT_EPSILON,
+        n_restarts: int = 1,
+        init_strategy: str = "support",
+        smoothing: float = 0.0,
+        seed: SeedLike = None,
+    ):
+        check_positive_int(max_iterations, "max_iterations")
+        check_positive_int(n_restarts, "n_restarts")
+        if not tolerance > 0:
+            raise ValidationError(f"tolerance must be positive, got {tolerance}")
+        if not 0 < epsilon < 0.5:
+            raise ValidationError(f"epsilon must be in (0, 0.5), got {epsilon}")
+        if init_strategy not in ("support", "random"):
+            raise ValidationError(
+                f"init_strategy must be 'support' or 'random', got {init_strategy!r}"
+            )
+        if smoothing < 0:
+            raise ValidationError(f"smoothing must be non-negative, got {smoothing}")
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.epsilon = epsilon
+        self.n_restarts = n_restarts
+        self.init_strategy = init_strategy
+        self.smoothing = smoothing
+        self._seed = seed
+
+    # Subclasses define which cells participate.
+    def _mask(self, problem: SensingProblem) -> np.ndarray:
+        raise NotImplementedError
+
+    def fit(self, problem: SensingProblem) -> EstimationResult:
+        """Run (multi-restart) masked EM and return the best fixed point."""
+        sc = problem.claims.values.astype(np.float64)
+        mask = self._mask(problem).astype(np.float64)
+        if mask.shape != sc.shape:
+            raise ValidationError(
+                f"mask shape {mask.shape} does not match claims {sc.shape}"
+            )
+        best: Optional[EstimationResult] = None
+        rngs = spawn_rngs(RandomState(self._seed), self.n_restarts)
+        for index, rng in enumerate(rngs):
+            if index == 0 and self.init_strategy == "support":
+                init = self._support_initialisation(sc, mask)
+            else:
+                init = IndependentParameters(
+                    t=rng.uniform(0.4, 0.8, size=sc.shape[0]),
+                    b=rng.uniform(0.05, 0.35, size=sc.shape[0]),
+                    z=float(rng.uniform(0.3, 0.7)),
+                ).clamp(self.epsilon)
+            candidate = self._run_once(sc, mask, init)
+            if best is None or candidate.log_likelihood > best.log_likelihood:
+                best = candidate
+        assert best is not None
+        return best
+
+    def _support_initialisation(
+        self, sc: np.ndarray, mask: np.ndarray
+    ) -> IndependentParameters:
+        """Vote-count warm start (mirrors EM-Ext's support initialisation)."""
+        support = (sc * mask).sum(axis=0)
+        top = float(support.max()) if support.size else 0.0
+        if top > 0:
+            posterior = 0.2 + 0.6 * support / top
+        else:
+            posterior = np.full(sc.shape[1], 0.5)
+        neutral = IndependentParameters(
+            t=np.full(sc.shape[0], 0.55), b=np.full(sc.shape[0], 0.45), z=0.5
+        )
+        return self._m_step(sc, mask, posterior, neutral)
+
+    def _run_once(
+        self, sc: np.ndarray, mask: np.ndarray, params: IndependentParameters
+    ) -> EstimationResult:
+        trace = ParameterTrace()
+        converged = False
+        posterior = self._posterior(sc, mask, params)
+        for _ in range(self.max_iterations):
+            new_params = self._m_step(sc, mask, posterior, params)
+            delta = new_params.max_difference(params)
+            params = new_params
+            posterior = self._posterior(sc, mask, params)
+            trace.record(self._log_likelihood(sc, mask, params), delta)
+            if delta < self.tolerance:
+                converged = True
+                break
+        decisions = (posterior >= 0.5).astype(np.int8)
+        return EstimationResult(
+            algorithm=self.algorithm_name,
+            scores=posterior,
+            decisions=decisions,
+            parameters=None,
+            log_likelihood=(
+                trace.log_likelihoods[-1]
+                if trace.n_iterations
+                else self._log_likelihood(sc, mask, params)
+            ),
+            converged=converged,
+            n_iterations=trace.n_iterations,
+            trace=trace,
+            extras={
+                "t": params.t,
+                "b": params.b,
+                "z": params.z,
+            },
+        )
+
+    @staticmethod
+    def _column_log_likelihoods(
+        sc: np.ndarray, mask: np.ndarray, params: IndependentParameters
+    ):
+        log_t, log_1t = np.log(params.t), np.log1p(-params.t)
+        log_b, log_1b = np.log(params.b), np.log1p(-params.b)
+        log_true = mask * (sc * log_t[:, None] + (1 - sc) * log_1t[:, None])
+        log_false = mask * (sc * log_b[:, None] + (1 - sc) * log_1b[:, None])
+        return log_true.sum(axis=0), log_false.sum(axis=0)
+
+    def _posterior(
+        self, sc: np.ndarray, mask: np.ndarray, params: IndependentParameters
+    ) -> np.ndarray:
+        log_true, log_false = self._column_log_likelihoods(sc, mask, params)
+        joint_true = log_true + np.log(params.z)
+        joint_false = log_false + np.log1p(-params.z)
+        top = np.maximum(joint_true, joint_false)
+        num = np.exp(joint_true - top)
+        return num / (num + np.exp(joint_false - top))
+
+    def _log_likelihood(
+        self, sc: np.ndarray, mask: np.ndarray, params: IndependentParameters
+    ) -> float:
+        log_true, log_false = self._column_log_likelihoods(sc, mask, params)
+        joint_true = log_true + np.log(params.z)
+        joint_false = log_false + np.log1p(-params.z)
+        top = np.maximum(joint_true, joint_false)
+        return float(
+            (top + np.log(np.exp(joint_true - top) + np.exp(joint_false - top))).sum()
+        )
+
+    def _m_step(
+        self,
+        sc: np.ndarray,
+        mask: np.ndarray,
+        posterior: np.ndarray,
+        previous: IndependentParameters,
+    ) -> IndependentParameters:
+        z_post = posterior
+        y_post = 1.0 - posterior
+
+        def _ratio(weight: np.ndarray, fallback: np.ndarray) -> np.ndarray:
+            numerator = (sc * mask) @ weight
+            denominator = mask @ weight
+            # Hierarchical shrinkage toward the pooled rate (see
+            # EMConfig.smoothing in repro.core.em_ext).
+            pooled_den = float(denominator.sum())
+            pooled = float(numerator.sum()) / pooled_den if pooled_den > 0 else 0.5
+            numerator = numerator + self.smoothing * pooled
+            denominator = denominator + self.smoothing
+            with np.errstate(invalid="ignore", divide="ignore"):
+                ratio = numerator / denominator
+            return np.where(denominator > 0, ratio, fallback)
+
+        t = _ratio(z_post, previous.t)
+        b = _ratio(y_post, previous.b)
+        z = float(z_post.mean()) if z_post.size else previous.z
+        return IndependentParameters(t=t, b=b, z=z).clamp(self.epsilon)
+
+
+class EMIndependent(_MaskedIndependentEM):
+    """EM (IPSN 2012): ignore dependencies, use every cell."""
+
+    algorithm_name = "em"
+
+    def _mask(self, problem: SensingProblem) -> np.ndarray:
+        return np.ones(problem.claims.shape)
+
+
+class EMSocial(_MaskedIndependentEM):
+    """EM-Social (IPSN 2014): ignore dependent cells entirely.
+
+    "Claims repeated by dependent sources do not offer value": every
+    cell flagged dependent — the repeated claim *and* the silence where
+    the source saw the assertion from an ancestor — is excluded from the
+    likelihood.  Excluding only the claims while keeping dependent
+    silences as independent evidence would bias the estimator toward
+    "false" (the silences say "my reliable source didn't repeat it"),
+    which is information the IPSN 2014 model explicitly refuses to use.
+    """
+
+    algorithm_name = "em-social"
+
+    def _mask(self, problem: SensingProblem) -> np.ndarray:
+        return 1.0 - problem.dependency.values.astype(np.float64)
+
+
+__all__ = ["EMIndependent", "EMSocial", "IndependentParameters"]

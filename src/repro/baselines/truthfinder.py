@@ -1,0 +1,82 @@
+"""TruthFinder (Yin, Han & Yu, TKDE 2008).
+
+An iterative algorithm exploiting the mutual reinforcement between
+source trustworthiness and claim confidence:
+
+* a source's trustworthiness ``t(s)`` is the average confidence of the
+  claims it makes;
+* a claim's confidence aggregates the trustworthiness of its sources in
+  log-odds-like space, ``σ(c) = Σ_s τ(s)`` with
+  ``τ(s) = -ln(1 - t(s))``, then squashes with a dampened logistic
+  ``conf(c) = 1 / (1 + exp(-γ σ(c)))``.
+
+The dampening factor ``γ`` compensates for the fact that sources are
+not actually independent — which is precisely the phenomenon the paper
+models explicitly.  Defaults (``γ = 0.3``, initial trust ``0.9``) follow
+the original publication.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import FactFinder, threshold_decisions
+from repro.core.matrix import SensingProblem
+from repro.core.result import FactFindingResult
+from repro.utils.errors import ValidationError
+from repro.utils.validation import check_positive_int, check_probability
+
+#: Cap on τ(s) = -ln(1 - t(s)) so a fully trusted source stays finite.
+_MAX_TAU = 50.0
+
+
+class TruthFinder(FactFinder):
+    """Yin et al.'s TruthFinder, adapted to the binary-assertion setting."""
+
+    algorithm_name = "truthfinder"
+
+    def __init__(
+        self,
+        dampening: float = 0.3,
+        initial_trust: float = 0.9,
+        max_iterations: int = 100,
+        tolerance: float = 1e-6,
+    ):
+        if not dampening > 0:
+            raise ValidationError(f"dampening must be positive, got {dampening}")
+        self.dampening = dampening
+        self.initial_trust = check_probability(initial_trust, "initial_trust")
+        check_positive_int(max_iterations, "max_iterations")
+        self.max_iterations = max_iterations
+        if not tolerance > 0:
+            raise ValidationError(f"tolerance must be positive, got {tolerance}")
+        self.tolerance = tolerance
+
+    def fit(self, problem: SensingProblem) -> FactFindingResult:
+        """Iterate trust/confidence until the trust vector stabilises."""
+        sc = problem.claims.values.astype(np.float64)
+        n, m = sc.shape
+        trust = np.full(n, self.initial_trust)
+        confidence = np.zeros(m)
+        iterations = 0
+        for iterations in range(1, self.max_iterations + 1):
+            tau = -np.log(np.clip(1.0 - trust, np.exp(-_MAX_TAU), 1.0))
+            sigma = sc.T @ tau
+            confidence = 1.0 / (1.0 + np.exp(-self.dampening * sigma))
+            counts = sc.sum(axis=1)
+            totals = sc @ confidence
+            with np.errstate(invalid="ignore", divide="ignore"):
+                new_trust = np.where(counts > 0, totals / counts, self.initial_trust)
+            delta = float(np.max(np.abs(new_trust - trust))) if n else 0.0
+            trust = new_trust
+            if delta < self.tolerance:
+                break
+        return FactFindingResult(
+            algorithm=self.algorithm_name,
+            scores=confidence,
+            decisions=threshold_decisions(confidence),
+            extras={"trust": trust, "n_iterations": iterations},
+        )
+
+
+__all__ = ["TruthFinder"]

@@ -1,0 +1,32 @@
+"""Voting: the simplest fact-finder (Section V-C baseline).
+
+Ranks assertions by the raw number of sources that made them — the more
+sources repeat a statement, the more it is believed.  This is exactly
+the estimator that dependency structure defeats: a cascade of
+unverified retweets looks identical to broad independent corroboration.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import FactFinder, threshold_decisions
+from repro.core.matrix import SensingProblem
+from repro.core.result import FactFindingResult
+
+
+class Voting(FactFinder):
+    """Score each assertion by its support count."""
+
+    algorithm_name = "voting"
+
+    def fit(self, problem: SensingProblem) -> FactFindingResult:
+        """Count supporters per assertion."""
+        scores = problem.claims.claims_per_assertion().astype(float)
+        return FactFindingResult(
+            algorithm=self.algorithm_name,
+            scores=scores,
+            decisions=threshold_decisions(scores),
+            extras={"max_support": float(scores.max()) if scores.size else 0.0},
+        )
+
+
+__all__ = ["Voting"]

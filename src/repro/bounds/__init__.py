@@ -1,0 +1,40 @@
+"""Fundamental error bounds (Section III) and related confidence bounds.
+
+* :func:`exact_bound` / :func:`exact_column_bound` — Equation (3) by
+  full enumeration;
+* :func:`gibbs_bound` / :func:`gibbs_column_bound` — Algorithm 1's
+  Gibbs-sampling approximation (Equation 6);
+* :func:`parameter_confidence` — Cramér–Rao style intervals on fitted
+  source parameters (related-work extension).
+"""
+
+from repro.bounds.analytic import bhattacharyya_bounds, bhattacharyya_coefficient
+from repro.bounds.cramer_rao import (
+    ParameterConfidence,
+    fisher_information,
+    parameter_confidence,
+)
+from repro.bounds.exact import (
+    MAX_EXACT_SOURCES,
+    BoundResult,
+    bound_from_pattern_table,
+    exact_bound,
+    exact_column_bound,
+)
+from repro.bounds.gibbs import GibbsConfig, gibbs_bound, gibbs_column_bound
+
+__all__ = [
+    "BoundResult",
+    "GibbsConfig",
+    "MAX_EXACT_SOURCES",
+    "ParameterConfidence",
+    "bhattacharyya_bounds",
+    "bhattacharyya_coefficient",
+    "bound_from_pattern_table",
+    "exact_bound",
+    "exact_column_bound",
+    "fisher_information",
+    "gibbs_bound",
+    "gibbs_column_bound",
+    "parameter_confidence",
+]

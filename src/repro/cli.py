@@ -1,0 +1,268 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro generate    write a synthetic sensing problem (Section V-A)
+    repro estimate    run a fact-finder on a problem file
+    repro bound       compute the fundamental error bound of a problem
+    repro simulate    simulate a Table III Twitter dataset to JSONL
+    repro experiment  regenerate one of the paper's tables/figures
+
+Every command is deterministic given ``--seed``.  See ``repro <cmd> -h``
+for per-command options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.baselines import ALGORITHM_REGISTRY, make_fact_finder
+from repro.bounds import (
+    GibbsConfig,
+    bhattacharyya_bounds,
+    exact_bound,
+    gibbs_bound,
+)
+from repro.core.em_ext import EMConfig
+from repro.datasets import DATASET_ORDER, simulate_dataset
+from repro.eval import (
+    figure3_bound_vs_sources,
+    figure4_bound_vs_trees,
+    figure5_bound_vs_odds,
+    figure6_bound_timing,
+    figure7_estimator_vs_sources,
+    figure8_estimator_vs_assertions,
+    figure9_estimator_vs_trees,
+    figure10_estimator_vs_odds,
+    figure11_empirical,
+    format_bound_comparison,
+    format_empirical,
+    format_sweep,
+    format_timing,
+    table1_walkthrough,
+)
+from repro.datasets.summary import format_table, summarize_catalog
+from repro.io import load_problem, save_problem, save_result, save_tweets
+from repro.synthetic import GeneratorConfig, empirical_parameters, generate_dataset
+from repro.utils.errors import ReproError
+
+_EXPERIMENTS = (
+    "table1", "table3", "fig3", "fig4", "fig5", "fig6",
+    "fig7", "fig8", "fig9", "fig10", "fig11",
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Dependency-aware social sensing (ICDCS 2016 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser(
+        "generate", help="write a synthetic sensing problem"
+    )
+    generate.add_argument("--out", required=True, help="output problem JSON path")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--n-sources", type=int, default=20)
+    generate.add_argument("--n-assertions", type=int, default=50)
+    generate.add_argument("--n-trees", type=int, default=None,
+                          help="fixed tree count (default: paper range 8-10)")
+    generate.add_argument("--mode", choices=("cell", "pool"), default="cell")
+    generate.add_argument("--with-truth", action="store_true",
+                          help="include ground-truth labels in the file")
+
+    estimate = subparsers.add_parser("estimate", help="run a fact-finder")
+    estimate.add_argument("--problem", required=True, help="problem JSON path")
+    estimate.add_argument("--out", default=None, help="result JSON path")
+    estimate.add_argument(
+        "--algorithm", default="em-ext", choices=sorted(ALGORITHM_REGISTRY)
+    )
+    estimate.add_argument("--seed", type=int, default=0)
+    estimate.add_argument("--smoothing", type=float, default=0.0)
+    estimate.add_argument("--top", type=int, default=10,
+                          help="print this many top-ranked assertions")
+
+    bound = subparsers.add_parser(
+        "bound", help="fundamental error bound of a problem (needs truth labels)"
+    )
+    bound.add_argument("--problem", required=True)
+    bound.add_argument(
+        "--method", default="auto",
+        choices=("auto", "exact", "gibbs", "bhattacharyya"),
+    )
+    bound.add_argument("--seed", type=int, default=0)
+
+    simulate = subparsers.add_parser(
+        "simulate", help="simulate a Table III Twitter dataset"
+    )
+    simulate.add_argument("--dataset", required=True, choices=DATASET_ORDER)
+    simulate.add_argument("--scale", type=float, default=0.1)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--tweets-out", default=None, help="JSONL output path")
+    simulate.add_argument("--problem-out", default=None,
+                          help="evaluation-day problem JSON output path")
+
+    experiment = subparsers.add_parser(
+        "experiment", help="regenerate one of the paper's tables/figures"
+    )
+    experiment.add_argument("name", choices=_EXPERIMENTS)
+    return parser
+
+
+def _cmd_generate(args) -> int:
+    kwargs = {
+        "n_sources": args.n_sources,
+        "n_assertions": args.n_assertions,
+        "mode": args.mode,
+    }
+    if args.n_trees is not None:
+        kwargs["n_trees"] = args.n_trees
+    dataset = generate_dataset(GeneratorConfig(**kwargs), seed=args.seed)
+    problem = dataset.problem if args.with_truth else dataset.problem.without_truth()
+    save_problem(problem, args.out)
+    print(
+        f"wrote {args.out}: {problem.n_sources} sources x "
+        f"{problem.n_assertions} assertions, "
+        f"{problem.claims.n_claims} claims "
+        f"({problem.dependent_claim_fraction():.0%} dependent)"
+        + (", with truth labels" if args.with_truth else "")
+    )
+    return 0
+
+
+def _cmd_estimate(args) -> int:
+    problem = load_problem(args.problem).without_truth()
+    name = args.algorithm
+    if name == "em-ext":
+        finder = make_fact_finder(
+            name, seed=args.seed, config=EMConfig(smoothing=args.smoothing)
+        )
+    elif name in ("em", "em-social"):
+        finder = make_fact_finder(name, seed=args.seed, smoothing=args.smoothing)
+    else:
+        finder = make_fact_finder(name)
+    result = finder.fit(problem)
+    print(f"algorithm: {result.algorithm}")
+    print(f"assertions judged true: {int(result.decisions.sum())} / {result.n_assertions}")
+    top = result.top_k(args.top)
+    for rank, assertion in enumerate(top, start=1):
+        label = problem.claims.assertion_ids[assertion]
+        print(f"  {rank:>3}. {label}  score={result.scores[assertion]:.4f}")
+    if args.out:
+        save_result(result, args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_bound(args) -> int:
+    problem = load_problem(args.problem)
+    if not problem.has_truth:
+        print(
+            "error: the bound needs oracle parameters, which are measured "
+            "against ground truth; regenerate the problem with --with-truth",
+            file=sys.stderr,
+        )
+        return 2
+    params = empirical_parameters(problem).clamp(1e-4)
+    dependency = problem.dependency.values
+    method = args.method
+    if method == "auto":
+        method = "exact" if problem.n_sources <= 20 else "gibbs"
+    if method == "bhattacharyya":
+        lower, upper = bhattacharyya_bounds(dependency, params)
+        print(f"bhattacharyya bracket: [{lower:.6f}, {upper:.6f}]")
+        return 0
+    if method == "exact":
+        result = exact_bound(dependency, params)
+    else:
+        result = gibbs_bound(
+            dependency, params, config=GibbsConfig(), seed=args.seed
+        )
+    print(
+        f"{result.method} bound: Err = {result.total:.6f} "
+        f"(FP {result.false_positive:.6f}, FN {result.false_negative:.6f}); "
+        f"optimal accuracy ceiling = {result.optimal_accuracy:.6f}"
+    )
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    dataset = simulate_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    summary = dataset.summary()
+    print(
+        f"{summary.name}: {summary.n_sources} sources, "
+        f"{summary.n_assertions} assertions, {summary.n_total_claims} claims "
+        f"({summary.n_original_claims} original)"
+    )
+    if args.tweets_out:
+        count = save_tweets(dataset.tweets, args.tweets_out)
+        print(f"wrote {count} tweets to {args.tweets_out}")
+    if args.problem_out:
+        evaluation = dataset.evaluation_slice()
+        save_problem(evaluation.problem, args.problem_out)
+        print(
+            f"wrote evaluation-day problem "
+            f"({evaluation.n_sources} x {evaluation.n_assertions}) "
+            f"to {args.problem_out}"
+        )
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    name = args.name
+    if name == "table1":
+        result = table1_walkthrough()
+        print(f"Table I bound: {result.total:.8f} (paper: 0.26980433)")
+    elif name == "table3":
+        print(format_table(summarize_catalog(scale=0.1)))
+        print("\n(simulated at scale 0.1; set REPRO_FULL_TRIALS=1 benchmarks "
+              "for full-scale runs)")
+    elif name in ("fig3", "fig4", "fig5"):
+        runner = {
+            "fig3": (figure3_bound_vs_sources, "n"),
+            "fig4": (figure4_bound_vs_trees, "tau"),
+            "fig5": (figure5_bound_vs_odds, "dep-odds"),
+        }[name]
+        print(format_bound_comparison(runner[0](), x_label=runner[1]))
+    elif name == "fig6":
+        print(format_timing(figure6_bound_timing()))
+    elif name in ("fig7", "fig8", "fig9", "fig10"):
+        runner = {
+            "fig7": figure7_estimator_vs_sources,
+            "fig8": figure8_estimator_vs_assertions,
+            "fig9": figure9_estimator_vs_trees,
+            "fig10": figure10_estimator_vs_odds,
+        }[name]
+        sweep = runner()
+        print("accuracy:\n" + format_sweep(sweep, "accuracy"))
+        print("\nfalse positive rate:\n" + format_sweep(sweep, "false_positive_rate"))
+    else:  # fig11
+        print(format_empirical(figure11_empirical(n_seeds=2, target_assertions=700)))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "estimate": _cmd_estimate,
+        "bound": _cmd_bound,
+        "simulate": _cmd_simulate,
+        "experiment": _cmd_experiment,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+__all__ = ["main"]

@@ -1,0 +1,361 @@
+"""EM-Ext: the dependency-aware maximum-likelihood estimator (Section IV).
+
+The estimator jointly infers the source parameter set
+:math:`θ = \\{a_i, b_i, f_i, g_i, z\\}` and the truth posterior of every
+assertion from the source-claim matrix ``SC`` and dependency indicators
+``D`` alone, by expectation-maximisation:
+
+* **E-step** (Equation 9): compute
+  :math:`Z_j = P(C_j = 1 | SC_j; D, θ^{(t)})` for every assertion;
+* **M-step** (Equations 10–14): closed-form parameter updates that
+  partition each source's cells into the four sets
+  :math:`S_iC_{0/1}^{D_{0/1}}` (claim / non-claim × dependent /
+  independent) and reweight by the posteriors.
+
+The implementation is fully vectorised: one E-step and one M-step are a
+handful of matrix products, so problems with thousands of sources and
+assertions fit comfortably in milliseconds per iteration.
+
+Practical extensions beyond the pseudocode (all standard EM hygiene,
+documented in DESIGN.md §5.5):
+
+* parameters are clamped to ``[ε, 1-ε]`` after every M-step;
+* sources with an empty partition (e.g. no dependent cells at all) keep
+  their previous value for the affected parameter;
+* optional multi-restart: run EM from several random initialisations
+  and keep the fixed point with the highest observed-data likelihood;
+* an informative default initialisation breaks the global label-swap
+  symmetry of the likelihood (the mirrored solution where every "true"
+  becomes "false" has identical likelihood).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.likelihood import data_log_likelihood, posterior_truth
+from repro.core.matrix import SensingProblem
+from repro.core.model import DEFAULT_EPSILON, ParameterTrace, SourceParameters
+from repro.core.result import EstimationResult
+from repro.utils.errors import ValidationError
+from repro.utils.rng import RandomState, SeedLike, spawn_rngs
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class EMConfig:
+    """Hyper-parameters of the EM loop.
+
+    Attributes
+    ----------
+    max_iterations:
+        Hard cap on EM iterations per restart.
+    tolerance:
+        Convergence threshold on the maximum absolute parameter change
+        between consecutive iterations (the criterion of Algorithm 2's
+        "while {θ} are not convergent").
+    epsilon:
+        Clamping width keeping probabilities inside ``[ε, 1-ε]``.
+    n_restarts:
+        Number of random restarts; the best fixed point by observed-data
+        log-likelihood wins.  1 reproduces the paper's single run.
+    smoothing:
+        Hierarchical (empirical-Bayes) pseudo-count ``s``: each M-step
+        ratio becomes ``(num_i + s·pooled) / (den_i + s)`` where
+        ``pooled`` is the population-level rate (all sources' numerators
+        over all denominators).  Sources with rich data keep their own
+        estimates; sources with a handful of cells shrink toward the
+        population — which is what makes the dependency signal usable on
+        field data where most sources make a single claim.  ``0``
+        reproduces the paper's plain maximum-likelihood updates.
+    init_strategy:
+        How the first restart is seeded (later restarts are always
+        random):
+
+        * ``"staged"`` (default) — fit the nested independence model on
+          the *independent* cells first (dependent cells excluded, the
+          EM-Social view), then enrich: one dependency-aware M-step on
+          the staged posterior seeds the full model.  This breaks the
+          chicken-and-egg between the truth posterior and the dependent
+          emission rates ``f, g`` — they are learned from an
+          already-calibrated posterior instead of amplifying the initial
+          guess.
+        * ``"support"`` — a dependency-discounted vote-count posterior
+          (assertions with more independent supporters start more
+          credible), the classic truth-discovery warm start.
+        * ``"random"`` — random source parameters (the paper's
+          "initialize parameter set with random probability").
+    """
+
+    max_iterations: int = 200
+    tolerance: float = 1e-6
+    epsilon: float = DEFAULT_EPSILON
+    n_restarts: int = 1
+    smoothing: float = 0.0
+    init_strategy: str = "staged"
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.max_iterations, "max_iterations")
+        check_positive_int(self.n_restarts, "n_restarts")
+        if not self.tolerance > 0:
+            raise ValidationError(f"tolerance must be positive, got {self.tolerance}")
+        if not 0 < self.epsilon < 0.5:
+            raise ValidationError(f"epsilon must be in (0, 0.5), got {self.epsilon}")
+        if self.smoothing < 0:
+            raise ValidationError(f"smoothing must be non-negative, got {self.smoothing}")
+        if self.init_strategy not in ("staged", "support", "random"):
+            raise ValidationError(
+                f"init_strategy must be 'staged', 'support' or 'random', got "
+                f"{self.init_strategy!r}"
+            )
+
+
+class EMExtEstimator:
+    """The paper's dependency-aware joint estimator (Algorithm 2).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.core import EMExtEstimator, SensingProblem
+    >>> sc = np.array([[1, 0, 1], [1, 1, 0]])
+    >>> d = np.array([[0, 0, 1], [0, 0, 0]])
+    >>> result = EMExtEstimator(seed=0).fit(SensingProblem(sc, d))
+    >>> result.scores.shape
+    (3,)
+    """
+
+    algorithm_name = "em-ext"
+
+    def __init__(
+        self,
+        config: Optional[EMConfig] = None,
+        *,
+        seed: SeedLike = None,
+        initial_parameters: Optional[SourceParameters] = None,
+    ):
+        self.config = config or EMConfig()
+        self._seed = seed
+        self.initial_parameters = initial_parameters
+
+    # -- public API ------------------------------------------------------------
+
+    def fit(self, problem: SensingProblem) -> EstimationResult:
+        """Run EM on ``problem`` and return the richest result object."""
+        rng = RandomState(self._seed)
+        restarts = self.config.n_restarts
+        best: Optional[EstimationResult] = None
+        for index, restart_rng in enumerate(spawn_rngs(rng, restarts)):
+            strategy = self.config.init_strategy
+            if index > 0 or self.initial_parameters is not None:
+                init = self._initial_parameters(problem, restart_rng)
+            elif strategy == "staged":
+                init = self._staged_initialisation(problem)
+            elif strategy == "support":
+                init = self._support_initialisation(problem)
+            else:
+                init = self._initial_parameters(problem, restart_rng)
+            candidate = self._run_once(problem, init)
+            if best is None or candidate.log_likelihood > best.log_likelihood:
+                best = candidate
+        assert best is not None  # restarts >= 1 by construction
+        return best
+
+    # -- internals ---------------------------------------------------------------
+
+    def _initial_parameters(
+        self, problem: SensingProblem, rng: np.random.Generator
+    ) -> SourceParameters:
+        if self.initial_parameters is not None:
+            if self.initial_parameters.n_sources != problem.n_sources:
+                raise ValidationError(
+                    "initial_parameters describe "
+                    f"{self.initial_parameters.n_sources} sources but the "
+                    f"problem has {problem.n_sources}"
+                )
+            return self.initial_parameters.clamp(self.config.epsilon)
+        return SourceParameters.random(problem.n_sources, rng).clamp(
+            self.config.epsilon
+        )
+
+    def _support_initialisation(self, problem: SensingProblem) -> SourceParameters:
+        """Seed parameters from a dependency-discounted vote posterior.
+
+        The initial posterior grows affinely with *independent* support,
+        ``Z_j = 0.2 + 0.6 · support_j / max_support``, then one M-step
+        turns it into source parameters.  Counting only independent
+        claims keeps viral cascades (which the model has not yet judged)
+        from branding their assertions credible before the first
+        iteration; the EM loop then learns from the dependent claims
+        whatever they actually carry.
+        """
+        sc = problem.claims.values.astype(np.float64)
+        indep = 1.0 - problem.dependency.values.astype(np.float64)
+        support = (sc * indep).sum(axis=0)
+        top = float(support.max()) if support.size else 0.0
+        if top > 0:
+            posterior = 0.2 + 0.6 * support / top
+        else:
+            posterior = np.full(problem.n_assertions, 0.5)
+        neutral = SourceParameters.from_scalars(
+            problem.n_sources, a=0.55, b=0.45, f=0.55, g=0.45, z=0.5
+        )
+        dep = problem.dependency.values.astype(np.float64)
+        return self._m_step(sc, dep, posterior, neutral)
+
+    def _staged_initialisation(
+        self, problem: SensingProblem, stage_iterations: int = 40
+    ) -> SourceParameters:
+        """Fit the nested independent-cells model, then enrich with f, g.
+
+        Stage one is a compact masked EM over independent cells only
+        (the EM-Social view), warm-started from the support posterior.
+        Stage two takes stage one's converged posterior and performs one
+        full dependency-aware M-step, which *measures* the dependent
+        emission rates against a posterior that is already anchored in
+        the independent evidence.
+        """
+        sc = problem.claims.values.astype(np.float64)
+        dep = problem.dependency.values.astype(np.float64)
+        indep = 1.0 - dep
+        support = (sc * indep).sum(axis=0)
+        top = float(support.max()) if support.size else 0.0
+        if top > 0:
+            posterior = 0.2 + 0.6 * support / top
+        else:
+            posterior = np.full(problem.n_assertions, 0.5)
+        eps = self.config.epsilon
+        n = problem.n_sources
+        t_rate = np.full(n, 0.55)
+        b_rate = np.full(n, 0.45)
+        z = 0.5
+        smoothing = self.config.smoothing
+        for _ in range(stage_iterations):
+            # M-step over independent cells only.
+            def _rate(weight: np.ndarray, previous: np.ndarray) -> np.ndarray:
+                numerator = (sc * indep) @ weight
+                denominator = indep @ weight
+                pooled_den = float(denominator.sum())
+                pooled = (
+                    float(numerator.sum()) / pooled_den if pooled_den > 0 else 0.5
+                )
+                numerator = numerator + smoothing * pooled
+                denominator = denominator + smoothing
+                with np.errstate(invalid="ignore", divide="ignore"):
+                    ratio = numerator / denominator
+                return np.clip(
+                    np.where(denominator > 0, ratio, previous), eps, 1.0 - eps
+                )
+
+            t_rate = _rate(posterior, t_rate)
+            b_rate = _rate(1.0 - posterior, b_rate)
+            z = float(np.clip(posterior.mean(), eps, 1.0 - eps)) if posterior.size else z
+            # E-step over independent cells only.
+            log_true = (
+                indep * (sc * np.log(t_rate)[:, None] + (1 - sc) * np.log1p(-t_rate)[:, None])
+            ).sum(axis=0)
+            log_false = (
+                indep * (sc * np.log(b_rate)[:, None] + (1 - sc) * np.log1p(-b_rate)[:, None])
+            ).sum(axis=0)
+            joint_true = log_true + np.log(z)
+            joint_false = log_false + np.log1p(-z)
+            peak = np.maximum(joint_true, joint_false)
+            numerator = np.exp(joint_true - peak)
+            new_posterior = numerator / (numerator + np.exp(joint_false - peak))
+            if np.max(np.abs(new_posterior - posterior)) < self.config.tolerance:
+                posterior = new_posterior
+                break
+            posterior = new_posterior
+        neutral = SourceParameters(a=t_rate, b=b_rate, f=t_rate, g=b_rate, z=z)
+        return self._m_step(sc, dep, posterior, neutral)
+
+    def _run_once(
+        self, problem: SensingProblem, params: SourceParameters
+    ) -> EstimationResult:
+        trace = ParameterTrace()
+        sc = problem.claims.values.astype(np.float64)
+        dep = problem.dependency.values.astype(np.float64)
+        converged = False
+        posterior = posterior_truth(problem, params)
+        for _ in range(self.config.max_iterations):
+            new_params = self._m_step(sc, dep, posterior, params)
+            delta = new_params.max_difference(params)
+            params = new_params
+            posterior = posterior_truth(problem, params)
+            trace.record(data_log_likelihood(problem, params), delta)
+            if delta < self.config.tolerance:
+                converged = True
+                break
+        decisions = (posterior >= 0.5).astype(np.int8)
+        return EstimationResult(
+            algorithm=self.algorithm_name,
+            scores=posterior,
+            decisions=decisions,
+            parameters=params,
+            log_likelihood=trace.log_likelihoods[-1] if trace.n_iterations else data_log_likelihood(problem, params),
+            converged=converged,
+            n_iterations=trace.n_iterations,
+            trace=trace,
+        )
+
+    def _m_step(
+        self,
+        sc: np.ndarray,
+        dep: np.ndarray,
+        posterior: np.ndarray,
+        previous: SourceParameters,
+    ) -> SourceParameters:
+        """Equations (10)–(14), vectorised.
+
+        For each source ``i`` the updates are ratios of posterior mass
+        over the four cell partitions; e.g. Equation (10):
+
+        .. math::
+            a_i = \\frac{\\sum_{j: SC_{ij}=1, D_{ij}=0} Z_j}
+                        {\\sum_{j: D_{ij}=0} Z_j}
+
+        The denominator runs over the union
+        :math:`S_iC_1^{D_0} \\cup S_iC_0^{D_0}` — all independent cells.
+        """
+        z_post = posterior  # Z_j = P(C_j = 1 | ·)
+        y_post = 1.0 - posterior  # Y_j = P(C_j = 0 | ·)
+        indep = 1.0 - dep
+        smoothing = self.config.smoothing
+
+        def _ratio(weight: np.ndarray, mask: np.ndarray, fallback: np.ndarray) -> np.ndarray:
+            numerator = (sc * mask) @ weight
+            denominator = mask @ weight
+            pooled_den = float(denominator.sum())
+            pooled = float(numerator.sum()) / pooled_den if pooled_den > 0 else 0.5
+            numerator = numerator + smoothing * pooled
+            denominator = denominator + smoothing
+            with np.errstate(invalid="ignore", divide="ignore"):
+                ratio = numerator / denominator
+            return np.where(denominator > 0, ratio, fallback)
+
+        a = _ratio(z_post, indep, previous.a)
+        f = _ratio(z_post, dep, previous.f)
+        b = _ratio(y_post, indep, previous.b)
+        g = _ratio(y_post, dep, previous.g)
+        z = float(z_post.mean()) if z_post.size else previous.z
+        return SourceParameters(a=a, b=b, f=f, g=g, z=z).clamp(self.config.epsilon)
+
+
+def run_em_ext(
+    problem: SensingProblem,
+    *,
+    seed: SeedLike = None,
+    max_iterations: int = 200,
+    tolerance: float = 1e-6,
+    n_restarts: int = 1,
+) -> EstimationResult:
+    """One-call convenience wrapper around :class:`EMExtEstimator`."""
+    config = EMConfig(
+        max_iterations=max_iterations, tolerance=tolerance, n_restarts=n_restarts
+    )
+    return EMExtEstimator(config, seed=seed).fit(problem)
+
+
+__all__ = ["EMConfig", "EMExtEstimator", "run_em_ext"]

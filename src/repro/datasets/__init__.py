@@ -1,0 +1,57 @@
+"""Simulated Twitter datasets matched to the paper's Table III."""
+
+from repro.datasets.cascades import (
+    Cascade,
+    CascadeSummary,
+    extract_cascades,
+    summarize_cascades,
+    virality_by_label,
+)
+from repro.datasets.catalog import (
+    DATASET_ORDER,
+    DATASET_SPECS,
+    benchmark_scale,
+    get_spec,
+    simulate_dataset,
+)
+from repro.datasets.schema import AssertionLabel, DatasetSummary, Tweet
+from repro.datasets.summary import (
+    format_table,
+    relative_errors,
+    summarize_catalog,
+    target_row,
+)
+from repro.datasets.twitter_sim import (
+    DatasetSpec,
+    EvaluationSlice,
+    TwitterDataset,
+    TwitterSimulator,
+)
+from repro.datasets.vocab import VOCABULARIES, Vocabulary, get_vocabulary
+
+__all__ = [
+    "AssertionLabel",
+    "Cascade",
+    "CascadeSummary",
+    "DATASET_ORDER",
+    "DATASET_SPECS",
+    "DatasetSpec",
+    "DatasetSummary",
+    "EvaluationSlice",
+    "Tweet",
+    "TwitterDataset",
+    "TwitterSimulator",
+    "VOCABULARIES",
+    "Vocabulary",
+    "benchmark_scale",
+    "extract_cascades",
+    "format_table",
+    "get_spec",
+    "get_vocabulary",
+    "relative_errors",
+    "simulate_dataset",
+    "summarize_cascades",
+    "summarize_catalog",
+    "target_row",
+    "virality_by_label",
+]

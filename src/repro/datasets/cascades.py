@@ -1,0 +1,148 @@
+"""Cascade analytics for (simulated) crawls.
+
+The phenomena the paper studies — rumours spreading further per
+original post than verified facts, cascades concentrating in the
+unreliable fringe — are properties of the retweet *cascades*.  These
+helpers measure them, both to validate the simulator against its
+design goals and to analyse any tweet stream fed to the pipeline.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.datasets.schema import AssertionLabel, Tweet
+from repro.utils.errors import DataError
+
+
+@dataclass(frozen=True)
+class Cascade:
+    """One retweet tree: a root tweet and all its (transitive) repeats."""
+
+    root_id: int
+    assertion: int
+    size: int
+    depth: int
+    users: int
+
+
+@dataclass(frozen=True)
+class CascadeSummary:
+    """Aggregate cascade statistics of a tweet stream."""
+
+    n_cascades: int
+    n_singletons: int
+    mean_size: float
+    max_size: int
+    mean_depth: float
+    retweet_fraction: float
+
+    @staticmethod
+    def empty() -> "CascadeSummary":
+        """Summary of a stream with no tweets."""
+        return CascadeSummary(
+            n_cascades=0, n_singletons=0, mean_size=0.0, max_size=0,
+            mean_depth=0.0, retweet_fraction=0.0,
+        )
+
+
+def extract_cascades(tweets: Sequence[Tweet]) -> List[Cascade]:
+    """Group tweets into retweet cascades (roots = non-retweets).
+
+    A retweet whose parent is missing from the stream is treated as its
+    own root (consistent with the pipeline's windowing behaviour).
+    """
+    by_id: Dict[int, Tweet] = {t.tweet_id: t for t in tweets}
+    if len(by_id) != len(tweets):
+        raise DataError("duplicate tweet ids in stream")
+
+    def _root_and_depth(tweet: Tweet) -> tuple:
+        depth = 0
+        current = tweet
+        seen = {tweet.tweet_id}
+        while current.retweet_of is not None and current.retweet_of in by_id:
+            current = by_id[current.retweet_of]
+            if current.tweet_id in seen:
+                raise DataError("retweet cycle detected")
+            seen.add(current.tweet_id)
+            depth += 1
+        return current.tweet_id, depth
+
+    members: Dict[int, List[Tweet]] = defaultdict(list)
+    depths: Dict[int, int] = defaultdict(int)
+    for tweet in tweets:
+        root_id, depth = _root_and_depth(tweet)
+        members[root_id].append(tweet)
+        depths[root_id] = max(depths[root_id], depth)
+    cascades = []
+    for root_id, group in members.items():
+        root = by_id[root_id]
+        cascades.append(
+            Cascade(
+                root_id=root_id,
+                assertion=root.assertion,
+                size=len(group),
+                depth=depths[root_id],
+                users=len({t.user for t in group}),
+            )
+        )
+    return sorted(cascades, key=lambda c: (-c.size, c.root_id))
+
+
+def summarize_cascades(tweets: Sequence[Tweet]) -> CascadeSummary:
+    """Aggregate cascade statistics of a tweet stream."""
+    if not tweets:
+        return CascadeSummary.empty()
+    cascades = extract_cascades(tweets)
+    sizes = np.array([c.size for c in cascades])
+    depths = np.array([c.depth for c in cascades])
+    n_retweets = sum(1 for t in tweets if t.is_retweet)
+    return CascadeSummary(
+        n_cascades=len(cascades),
+        n_singletons=int((sizes == 1).sum()),
+        mean_size=float(sizes.mean()),
+        max_size=int(sizes.max()),
+        mean_depth=float(depths.mean()),
+        retweet_fraction=n_retweets / len(tweets),
+    )
+
+
+def virality_by_label(
+    tweets: Sequence[Tweet], labels: Sequence[AssertionLabel]
+) -> Dict[AssertionLabel, float]:
+    """Mean retweets per original post, split by assertion label.
+
+    This is the quantity the simulator's virality knobs control and the
+    quantity that defeats counting-based fact-finders when it differs
+    across labels.
+    """
+    originals: Dict[AssertionLabel, int] = defaultdict(int)
+    retweets: Dict[AssertionLabel, int] = defaultdict(int)
+    for tweet in tweets:
+        if not 0 <= tweet.assertion < len(labels):
+            raise DataError(
+                f"tweet {tweet.tweet_id} references unlabelled assertion "
+                f"{tweet.assertion}"
+            )
+        label = labels[tweet.assertion]
+        if tweet.is_retweet:
+            retweets[label] += 1
+        else:
+            originals[label] += 1
+    return {
+        label: (retweets[label] / originals[label]) if originals[label] else 0.0
+        for label in AssertionLabel
+    }
+
+
+__all__ = [
+    "Cascade",
+    "CascadeSummary",
+    "extract_cascades",
+    "summarize_cascades",
+    "virality_by_label",
+]

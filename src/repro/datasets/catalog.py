@@ -1,0 +1,124 @@
+"""Catalogue of the five Table III datasets.
+
+The specs carry the exact period, evaluation day, and scale targets the
+paper reports; :func:`simulate_dataset` produces a seeded simulation of
+any of them at an optional sub-scale (the full Paris Attack crawl has
+~41k claims; benchmarks typically run the evaluation-day slice at
+``scale≈0.1``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.datasets.twitter_sim import DatasetSpec, TwitterDataset, TwitterSimulator
+from repro.utils.errors import ValidationError
+from repro.utils.rng import SeedLike
+
+#: Table III, verbatim targets.
+DATASET_SPECS: Dict[str, DatasetSpec] = {
+    "ukraine": DatasetSpec(
+        name="Ukraine",
+        theme="ukraine",
+        location="Ukraine",
+        start_time="Feb 20 12:15:28 2015",
+        end_time="Mar 31 23:10:12 2015",
+        evaluation_day="Mar 14 2015",
+        n_assertions=3703,
+        n_sources=5403,
+        n_claims=7192,
+        n_original_claims=4242,
+    ),
+    "kirkuk": DatasetSpec(
+        name="Kirkuk",
+        theme="kirkuk",
+        location="Kirkuk",
+        start_time="Jan 31 01:47:25 2015",
+        end_time="Apr 02 02:41:15 2015",
+        evaluation_day="Mar 10 2015",
+        n_assertions=2795,
+        n_sources=4816,
+        n_claims=6188,
+        n_original_claims=3079,
+    ),
+    "superbug": DatasetSpec(
+        name="Superbug",
+        theme="superbug",
+        location="LA",
+        start_time="Feb 19 17:42:39 2015",
+        end_time="Apr 09 18:29:01 2015",
+        evaluation_day="Mar 4 2015",
+        n_assertions=2873,
+        n_sources=7764,
+        n_claims=9426,
+        n_original_claims=5831,
+    ),
+    "la_marathon": DatasetSpec(
+        name="LA Marathon",
+        theme="la_marathon",
+        location="LA",
+        start_time="Mar 12 01:38:29 2015",
+        end_time="Mar 18 02:14:42 2015",
+        evaluation_day="Mar 15 2015",
+        n_assertions=3537,
+        n_sources=5174,
+        n_claims=7148,
+        n_original_claims=4332,
+    ),
+    "paris_attack": DatasetSpec(
+        name="Paris Attack",
+        theme="paris_attack",
+        location="Paris",
+        start_time="Nov 14 18:17:14 2015",
+        end_time="Nov 24 17:28:02 2015",
+        evaluation_day="Nov 14 2015",
+        n_assertions=23513,
+        n_sources=38844,
+        n_claims=41249,
+        n_original_claims=38794,
+    ),
+}
+
+#: Dataset order used by Figure 11 and Table III.
+DATASET_ORDER: List[str] = [
+    "ukraine",
+    "kirkuk",
+    "superbug",
+    "la_marathon",
+    "paris_attack",
+]
+
+
+def get_spec(name: str) -> DatasetSpec:
+    """Look up a Table III dataset spec by key."""
+    if name not in DATASET_SPECS:
+        raise ValidationError(
+            f"unknown dataset {name!r}; available: {DATASET_ORDER}"
+        )
+    return DATASET_SPECS[name]
+
+
+def simulate_dataset(
+    name: str, *, scale: float = 1.0, seed: SeedLike = None
+) -> TwitterDataset:
+    """Simulate one Table III dataset at ``scale`` with a fixed seed."""
+    return TwitterSimulator(get_spec(name), scale=scale, seed=seed).simulate()
+
+
+def benchmark_scale(name: str, target_assertions: int = 400) -> float:
+    """A scale that keeps the dataset around ``target_assertions`` clusters.
+
+    Used by the Figure 11 benchmark so the seven-algorithm sweep stays
+    interactive while preserving each dataset's relative proportions.
+    """
+    spec = get_spec(name)
+    return min(1.0, target_assertions / spec.n_assertions)
+
+
+__all__ = [
+    "DATASET_ORDER",
+    "DATASET_SPECS",
+    "benchmark_scale",
+    "get_spec",
+    "simulate_dataset",
+]

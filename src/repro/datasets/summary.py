@@ -1,0 +1,74 @@
+"""Table III reproduction: summarise simulated datasets side by side."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.datasets.catalog import DATASET_ORDER, get_spec, simulate_dataset
+from repro.datasets.schema import DatasetSummary
+from repro.utils.rng import SeedLike
+
+
+def summarize_catalog(
+    names: Optional[Iterable[str]] = None,
+    *,
+    scale: float = 1.0,
+    seed: SeedLike = 2015,
+) -> List[DatasetSummary]:
+    """Simulate and summarise the catalogue datasets (Table III rows)."""
+    names = list(names) if names is not None else DATASET_ORDER
+    summaries = []
+    for index, name in enumerate(names):
+        dataset = simulate_dataset(name, scale=scale, seed=(seed, index))
+        summaries.append(dataset.summary())
+    return summaries
+
+
+def target_row(name: str) -> DatasetSummary:
+    """The paper's Table III row (the simulation's calibration target)."""
+    spec = get_spec(name)
+    return DatasetSummary(
+        name=spec.name,
+        start_time=spec.start_time,
+        end_time=spec.end_time,
+        evaluation_day=spec.evaluation_day,
+        n_assertions=spec.n_assertions,
+        n_sources=spec.n_sources,
+        n_total_claims=spec.n_claims,
+        n_original_claims=spec.n_original_claims,
+        location=spec.location,
+    )
+
+
+def relative_errors(measured: DatasetSummary, target: DatasetSummary) -> Dict[str, float]:
+    """Relative count deviations of a simulation from its Table III target."""
+
+    def _rel(a: int, b: int) -> float:
+        return abs(a - b) / max(b, 1)
+
+    return {
+        "n_assertions": _rel(measured.n_assertions, target.n_assertions),
+        "n_sources": _rel(measured.n_sources, target.n_sources),
+        "n_total_claims": _rel(measured.n_total_claims, target.n_total_claims),
+        "n_original_claims": _rel(
+            measured.n_original_claims, target.n_original_claims
+        ),
+    }
+
+
+def format_table(summaries: Iterable[DatasetSummary]) -> str:
+    """Render summaries as a fixed-width text table (Table III layout)."""
+    rows = [DatasetSummary.header()] + [
+        tuple(str(v) for v in s.as_row()) for s in summaries
+    ]
+    widths = [max(len(row[col]) for row in rows) for col in range(len(rows[0]))]
+    lines = []
+    for index, row in enumerate(rows):
+        line = "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        lines.append(line.rstrip())
+        if index == 0:
+            lines.append("-" * len(line))
+    return "\n".join(lines)
+
+
+__all__ = ["format_table", "relative_errors", "summarize_catalog", "target_row"]

@@ -1,0 +1,123 @@
+"""Themed vocabularies for rendering simulated tweet text.
+
+Each of the five Table III datasets gets a small template vocabulary so
+the simulator can render every assertion as a canonical sentence and
+every tweet as a noisy variant of it.  The Apollo pipeline's clustering
+stage (:mod:`repro.pipeline.cluster`) then has realistic material to
+re-discover assertion groups from text alone.
+
+The vocabularies are fictional paraphrases of the event domains the
+paper describes; no real tweet content is reproduced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.utils.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class Vocabulary:
+    """Sentence ingredients for one dataset theme."""
+
+    subjects: List[str]
+    verbs: List[str]
+    objects: List[str]
+    places: List[str]
+    hashtags: List[str]
+
+    def render_assertion(self, rng: np.random.Generator) -> str:
+        """Compose one canonical assertion sentence."""
+        parts = [
+            str(rng.choice(self.subjects)),
+            str(rng.choice(self.verbs)),
+            str(rng.choice(self.objects)),
+            "at" if rng.random() < 0.5 else "near",
+            str(rng.choice(self.places)),
+            str(rng.choice(self.hashtags)),
+        ]
+        return " ".join(parts)
+
+
+#: Mild filler tokens sprinkled into original tweets so text-level
+#: clustering faces realistic (but solvable) noise.
+FILLERS = (
+    "BREAKING:",
+    "confirmed",
+    "unconfirmed",
+    "just heard",
+    "reports say",
+    "developing",
+    "sources claim",
+    "happening now",
+)
+
+VOCABULARIES: Dict[str, Vocabulary] = {
+    "ukraine": Vocabulary(
+        subjects=["president", "spokesman", "delegation", "ministry", "convoy"],
+        verbs=["postponed", "cancelled", "denied", "confirmed", "scheduled"],
+        objects=["treaty signing", "press briefing", "state visit", "negotiation", "ceasefire talks"],
+        places=["Moscow", "Kiev", "Minsk", "the Kremlin", "Astana"],
+        hashtags=["#ukraine", "#russia", "#putin", "#kremlinwatch"],
+    ),
+    "kirkuk": Vocabulary(
+        subjects=["kurdish forces", "peshmerga units", "militants", "coalition jets", "local police"],
+        verbs=["attacked", "recaptured", "shelled", "secured", "withdrew from"],
+        objects=["oil facilities", "checkpoints", "a supply route", "village outskirts", "a military base"],
+        places=["Kirkuk", "the southern front", "the refinery district", "highway 80", "the citadel"],
+        hashtags=["#kirkuk", "#iraq", "#peshmerga", "#frontline"],
+    ),
+    "superbug": Vocabulary(
+        subjects=["hospital officials", "health department", "doctors", "the CDC team", "nurses"],
+        verbs=["reported", "quarantined", "screened", "traced", "disinfected"],
+        objects=["new infections", "contaminated scopes", "exposed patients", "an outbreak ward", "test results"],
+        places=["the medical center", "UCLA campus", "the endoscopy unit", "Los Angeles", "the ICU"],
+        hashtags=["#superbug", "#CRE", "#outbreak", "#LAhealth"],
+    ),
+    "la_marathon": Vocabulary(
+        subjects=["runners", "spectators", "organizers", "paramedics", "volunteers"],
+        verbs=["crowded", "cheered along", "closed", "rerouted", "cooled down at"],
+        objects=["the start corral", "mile marker 18", "a water station", "the finish chute", "the elite pack"],
+        places=["Dodger Stadium", "Echo Park", "Sunset Blvd", "Santa Monica Pier", "Ocean Avenue"],
+        hashtags=["#LAmarathon", "#running", "#LA2015", "#finishline"],
+    ),
+    "paris_attack": Vocabulary(
+        subjects=["police units", "witnesses", "officials", "emergency crews", "residents"],
+        verbs=["evacuated", "sealed off", "reported gunfire at", "searched", "sheltered in"],
+        objects=["the concert hall", "a cafe terrace", "the stadium gates", "metro entrances", "an apartment block"],
+        places=["the 11th arrondissement", "Bataclan", "Saint-Denis", "Place de la Republique", "boulevard Voltaire"],
+        hashtags=["#paris", "#parisattacks", "#porteouverte", "#prayforparis"],
+    ),
+}
+
+
+def get_vocabulary(theme: str) -> Vocabulary:
+    """Look up the vocabulary for a dataset theme."""
+    if theme not in VOCABULARIES:
+        raise ValidationError(
+            f"unknown vocabulary theme {theme!r}; available: {sorted(VOCABULARIES)}"
+        )
+    return VOCABULARIES[theme]
+
+
+def render_tweet_text(
+    canonical: str, rng: np.random.Generator, *, retweet_user: int = None
+) -> str:
+    """Render one tweet's text from its assertion's canonical sentence.
+
+    Originals get optional filler prefixes; retweets get the standard
+    ``RT @user:`` prefix and otherwise repeat the canonical text —
+    matching how retweet text actually behaves.
+    """
+    if retweet_user is not None:
+        return f"RT @user{retweet_user}: {canonical}"
+    if rng.random() < 0.4:
+        return f"{rng.choice(FILLERS)} {canonical}"
+    return canonical
+
+
+__all__ = ["FILLERS", "VOCABULARIES", "Vocabulary", "get_vocabulary", "render_tweet_text"]

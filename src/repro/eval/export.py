@@ -1,0 +1,115 @@
+"""CSV export of experiment results.
+
+The library reports exhibits as text tables; downstream users plotting
+with their own tooling want machine-readable series.  These writers
+produce plain CSV with stable column orders.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Optional, Sequence, Union
+
+from repro.eval.experiments import BoundComparisonRow, EmpiricalCell, TimingRow
+from repro.eval.harness import SweepResult
+from repro.utils.errors import ValidationError
+
+PathLike = Union[str, Path]
+
+
+def _write_rows(path: PathLike, header: Sequence[str], rows: Iterable[Sequence]) -> int:
+    count = 0
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        for row in rows:
+            writer.writerow(row)
+            count += 1
+    return count
+
+
+def bound_comparison_to_csv(
+    rows: Sequence[BoundComparisonRow], path: PathLike, *, x_label: str = "x"
+) -> int:
+    """Write a Figures 3–5 sweep; returns the number of data rows."""
+    return _write_rows(
+        path,
+        (
+            x_label, "exact_total", "gibbs_total", "absolute_difference",
+            "exact_false_positive", "exact_false_negative",
+            "gibbs_false_positive", "gibbs_false_negative",
+        ),
+        (
+            (
+                row.value, row.exact_total, row.gibbs_total,
+                row.absolute_difference,
+                row.exact_false_positive, row.exact_false_negative,
+                row.gibbs_false_positive, row.gibbs_false_negative,
+            )
+            for row in rows
+        ),
+    )
+
+
+def timing_to_csv(rows: Sequence[TimingRow], path: PathLike) -> int:
+    """Write the Figure 6 timing sweep."""
+    return _write_rows(
+        path,
+        ("n_sources", "exact_seconds", "gibbs_seconds"),
+        (
+            (
+                row.n_sources,
+                "" if row.exact_seconds is None else row.exact_seconds,
+                row.gibbs_seconds,
+            )
+            for row in rows
+        ),
+    )
+
+
+def sweep_to_csv(
+    sweep: SweepResult,
+    path: PathLike,
+    *,
+    metrics: Sequence[str] = ("accuracy", "false_positive_rate", "false_negative_rate"),
+    algorithms: Optional[Sequence[str]] = None,
+) -> int:
+    """Write a Figures 7–10 sweep in long format.
+
+    Columns: parameter value, algorithm, then one column per metric.
+    """
+    algorithms = list(algorithms) if algorithms else sweep.algorithms()
+    if not algorithms:
+        raise ValidationError("sweep has no common algorithms to export")
+    curves = {
+        (name, metric): sweep.curve(name, metric)
+        for name in algorithms
+        for metric in metrics
+    }
+
+    def _rows():
+        for index, value in enumerate(sweep.values):
+            for name in algorithms:
+                yield (value, name) + tuple(
+                    curves[(name, metric)][index] for metric in metrics
+                )
+
+    return _write_rows(path, (sweep.parameter, "algorithm") + tuple(metrics), _rows())
+
+
+def empirical_to_csv(cells: Sequence[EmpiricalCell], path: PathLike) -> int:
+    """Write Figure 11 cells in long format."""
+    return _write_rows(
+        path,
+        ("dataset", "algorithm", "true_ratio"),
+        ((cell.dataset, cell.algorithm, cell.true_ratio) for cell in cells),
+    )
+
+
+__all__ = [
+    "bound_comparison_to_csv",
+    "empirical_to_csv",
+    "sweep_to_csv",
+    "timing_to_csv",
+]

@@ -1,0 +1,109 @@
+"""Evaluation metrics for fact-finding results.
+
+The paper reports three synthetic metrics (estimation accuracy, false
+positive rate, false negative rate — Figures 7–10) and one empirical
+metric (the top-k true ratio — Figure 11, computed by the grading
+protocol in :mod:`repro.pipeline.grading`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.result import FactFindingResult
+from repro.utils.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class ClassificationMetrics:
+    """Accuracy and error decomposition of binary truth decisions.
+
+    ``false_positive_rate`` is the fraction of *false* assertions
+    labelled true; ``false_negative_rate`` the fraction of *true*
+    assertions labelled false — matching the paper's "false positive /
+    false negative" curves.
+    """
+
+    accuracy: float
+    false_positive_rate: float
+    false_negative_rate: float
+    n_assertions: int
+    n_true: int
+    n_false: int
+
+    @property
+    def error_rate(self) -> float:
+        """``1 - accuracy``."""
+        return 1.0 - self.accuracy
+
+
+def classification_metrics(
+    decisions: np.ndarray, truth: np.ndarray
+) -> ClassificationMetrics:
+    """Score binary decisions against ground truth."""
+    decisions = np.asarray(decisions)
+    truth = np.asarray(truth)
+    if decisions.shape != truth.shape or decisions.ndim != 1:
+        raise ValidationError(
+            f"decisions and truth must be equal-length vectors, got "
+            f"{decisions.shape} vs {truth.shape}"
+        )
+    if decisions.size == 0:
+        raise ValidationError("cannot score an empty decision vector")
+    true_mask = truth == 1
+    false_mask = ~true_mask
+    n_true = int(true_mask.sum())
+    n_false = int(false_mask.sum())
+    accuracy = float((decisions == truth).mean())
+    fp_rate = float((decisions[false_mask] == 1).mean()) if n_false else 0.0
+    fn_rate = float((decisions[true_mask] == 0).mean()) if n_true else 0.0
+    return ClassificationMetrics(
+        accuracy=accuracy,
+        false_positive_rate=fp_rate,
+        false_negative_rate=fn_rate,
+        n_assertions=decisions.size,
+        n_true=n_true,
+        n_false=n_false,
+    )
+
+
+def score_result(result: FactFindingResult, truth: np.ndarray) -> ClassificationMetrics:
+    """Score a fact-finding result's decisions against ground truth."""
+    return classification_metrics(result.decisions, truth)
+
+
+def precision_at_k(result: FactFindingResult, truth: np.ndarray, k: int) -> float:
+    """Fraction of the top-``k`` ranked assertions that are actually true."""
+    if k <= 0:
+        raise ValidationError(f"k must be positive, got {k}")
+    truth = np.asarray(truth)
+    top = result.top_k(k)
+    if top.size == 0:
+        return 0.0
+    return float((truth[top] == 1).mean())
+
+
+def brier_score(result: FactFindingResult, truth: np.ndarray) -> float:
+    """Mean squared error of probabilistic scores (calibration measure).
+
+    Only meaningful for algorithms whose scores are posteriors in
+    ``[0, 1]`` (the EM family); heuristic rankers are min-max normalised
+    first so the value is at least comparable.
+    """
+    truth = np.asarray(truth, dtype=np.float64)
+    scores = result.scores
+    low, high = float(scores.min()), float(scores.max())
+    if low < 0.0 or high > 1.0:
+        scores = (scores - low) / (high - low) if high > low else np.full_like(scores, 0.5)
+    return float(np.mean((scores - truth) ** 2))
+
+
+__all__ = [
+    "ClassificationMetrics",
+    "brier_score",
+    "classification_metrics",
+    "precision_at_k",
+    "score_result",
+]

@@ -1,0 +1,104 @@
+"""Plain-text rendering of experiment results.
+
+The paper presents its evaluation as figures; a terminal library
+presents the same series as aligned text tables.  These helpers are
+what the benchmark suite prints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.eval.experiments import BoundComparisonRow, EmpiricalCell, TimingRow
+from repro.eval.harness import SweepResult
+
+
+def _table(header: Sequence[str], rows: List[Sequence[str]]) -> str:
+    all_rows = [list(header)] + [list(r) for r in rows]
+    widths = [max(len(str(row[c])) for row in all_rows) for c in range(len(header))]
+    lines = []
+    for index, row in enumerate(all_rows):
+        line = "  ".join(str(cell).rjust(width) for cell, width in zip(row, widths))
+        lines.append(line.rstrip())
+        if index == 0:
+            lines.append("-" * len(line))
+    return "\n".join(lines)
+
+
+def format_bound_comparison(
+    rows: List[BoundComparisonRow], x_label: str = "x"
+) -> str:
+    """Render a Figures 3–5 sweep as a table."""
+    return _table(
+        (x_label, "exact", "approx", "|diff|", "exact FP", "exact FN"),
+        [
+            (
+                f"{r.value:g}",
+                f"{r.exact_total:.4f}",
+                f"{r.gibbs_total:.4f}",
+                f"{r.absolute_difference:.4f}",
+                f"{r.exact_false_positive:.4f}",
+                f"{r.exact_false_negative:.4f}",
+            )
+            for r in rows
+        ],
+    )
+
+
+def format_timing(rows: List[TimingRow]) -> str:
+    """Render the Figure 6 timing sweep."""
+    return _table(
+        ("n", "exact (s)", "gibbs (s)"),
+        [
+            (
+                str(r.n_sources),
+                "-" if r.exact_seconds is None else f"{r.exact_seconds:.3f}",
+                f"{r.gibbs_seconds:.3f}",
+            )
+            for r in rows
+        ],
+    )
+
+
+def format_sweep(
+    sweep: SweepResult,
+    metric: str = "accuracy",
+    algorithms: Optional[Sequence[str]] = None,
+) -> str:
+    """Render a Figures 7–10 sweep: one column per algorithm."""
+    algorithms = list(algorithms) if algorithms else sweep.algorithms()
+    header = [sweep.parameter] + list(algorithms)
+    rows = []
+    curves = {name: sweep.curve(name, metric) for name in algorithms}
+    for index, value in enumerate(sweep.values):
+        rows.append(
+            [f"{value:g}"] + [f"{curves[name][index]:.4f}" for name in algorithms]
+        )
+    return _table(header, rows)
+
+
+def format_empirical(cells: List[EmpiricalCell]) -> str:
+    """Render Figure 11 as a dataset × algorithm matrix."""
+    datasets: List[str] = []
+    algorithms: List[str] = []
+    values: Dict[str, Dict[str, float]] = {}
+    for cell in cells:
+        if cell.dataset not in datasets:
+            datasets.append(cell.dataset)
+        if cell.algorithm not in algorithms:
+            algorithms.append(cell.algorithm)
+        values.setdefault(cell.dataset, {})[cell.algorithm] = cell.true_ratio
+    header = ["dataset"] + algorithms
+    rows = [
+        [name] + [f"{values[name].get(alg, float('nan')):.3f}" for alg in algorithms]
+        for name in datasets
+    ]
+    return _table(header, rows)
+
+
+__all__ = [
+    "format_bound_comparison",
+    "format_empirical",
+    "format_sweep",
+    "format_timing",
+]

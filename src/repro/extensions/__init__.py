@@ -1,0 +1,5 @@
+"""Extensions beyond the paper's core: streaming estimation."""
+
+from repro.extensions.streaming import StreamingEMExt
+
+__all__ = ["StreamingEMExt"]

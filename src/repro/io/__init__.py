@@ -1,0 +1,35 @@
+"""Serialisation of problems, results and tweet streams.
+
+``save_sparse_problem``/``load_sparse_problem`` (NPZ, for crawl-scale
+matrices) are imported lazily because they require scipy.
+"""
+
+from repro.io.serialization import (
+    FORMAT_VERSION,
+    load_problem,
+    load_result,
+    load_tweets,
+    save_problem,
+    save_result,
+    save_tweets,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "load_problem",
+    "load_result",
+    "load_sparse_problem",
+    "load_tweets",
+    "save_problem",
+    "save_result",
+    "save_sparse_problem",
+    "save_tweets",
+]
+
+
+def __getattr__(name):
+    if name in ("save_sparse_problem", "load_sparse_problem"):
+        from repro.io import sparse_io
+
+        return getattr(sparse_io, name)
+    raise AttributeError(f"module 'repro.io' has no attribute {name!r}")

@@ -1,0 +1,66 @@
+"""NPZ serialisation for sparse sensing problems.
+
+JSON is the right interchange format for the dense problems the paper's
+experiments use; a full-scale crawl's CSR matrices belong in a binary
+container.  One ``.npz`` file holds both matrices (CSR components), the
+shape, and optional truth labels.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.sparse.problem import SparseSensingProblem
+from repro.utils.errors import DataError
+
+PathLike = Union[str, Path]
+
+_MAGIC = "repro-sparse-problem-v1"
+
+
+def save_sparse_problem(problem: SparseSensingProblem, path: PathLike) -> None:
+    """Write a sparse problem to an ``.npz`` file."""
+    claims = problem.claims.tocsr()
+    dependency = problem.dependency.tocsr()
+    payload = {
+        "magic": np.array(_MAGIC),
+        "shape": np.array(claims.shape, dtype=np.int64),
+        "claims_indptr": claims.indptr,
+        "claims_indices": claims.indices,
+        "dependency_indptr": dependency.indptr,
+        "dependency_indices": dependency.indices,
+        "has_truth": np.array(problem.has_truth),
+    }
+    if problem.has_truth:
+        payload["truth"] = problem.truth
+    np.savez_compressed(path, **payload)
+
+
+def load_sparse_problem(path: PathLike) -> SparseSensingProblem:
+    """Read a sparse problem written by :func:`save_sparse_problem`."""
+    from scipy import sparse
+
+    with np.load(path, allow_pickle=False) as archive:
+        magic = str(archive["magic"])
+        if magic != _MAGIC:
+            raise DataError(f"{path}: not a sparse-problem archive ({magic!r})")
+        shape = tuple(int(v) for v in archive["shape"])
+
+        def _matrix(prefix: str):
+            indptr = archive[f"{prefix}_indptr"]
+            indices = archive[f"{prefix}_indices"]
+            data = np.ones(indices.shape[0], dtype=np.float64)
+            return sparse.csr_matrix((data, indices, indptr), shape=shape)
+
+        truth = archive["truth"] if bool(archive["has_truth"]) else None
+        return SparseSensingProblem(
+            claims=_matrix("claims"),
+            dependency=_matrix("dependency"),
+            truth=truth,
+        )
+
+
+__all__ = ["load_sparse_problem", "save_sparse_problem"]

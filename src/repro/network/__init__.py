@@ -1,0 +1,26 @@
+"""Social-network substrate: follow graphs, event streams, dependency extraction."""
+
+from repro.network.dependency import (
+    build_problem,
+    dependency_summary,
+    extract_dependency,
+)
+from repro.network.events import EventLog, Post
+from repro.network.generators import (
+    LevelTwoForest,
+    level_two_forest,
+    preferential_attachment,
+)
+from repro.network.graph import FollowGraph
+
+__all__ = [
+    "EventLog",
+    "FollowGraph",
+    "LevelTwoForest",
+    "Post",
+    "build_problem",
+    "dependency_summary",
+    "extract_dependency",
+    "level_two_forest",
+    "preferential_attachment",
+]

@@ -1,0 +1,118 @@
+"""Dependency-indicator extraction (Section II-A, Figure 1).
+
+A claim by source ``i`` on assertion ``j`` is *dependent* when an
+ancestor of ``i`` made the same assertion strictly earlier — the
+source may merely be repeating what it saw.  For cells where ``i``
+never reported ``j`` the library still defines an indicator (the EM
+M-step partitions non-claims by dependency, DESIGN.md §5.2): the cell
+is dependent when *any* ancestor asserted ``j`` at all, i.e. the source
+had the opportunity to repeat and stayed silent.
+
+Two ancestry policies:
+
+* ``"direct"`` (paper's Figure 1) — ancestors are direct followees;
+* ``"transitive"`` — ancestors close over follow chains, modelling
+  multi-hop exposure through retweet cascades.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.matrix import DependencyMatrix, SensingProblem, SourceClaimMatrix
+from repro.network.events import EventLog
+from repro.network.graph import FollowGraph
+from repro.utils.errors import ValidationError
+from repro.utils.validation import check_in_choices
+
+_POLICIES = ("direct", "transitive")
+
+
+def extract_dependency(
+    log: EventLog,
+    graph: FollowGraph,
+    *,
+    n_assertions: int,
+    policy: str = "direct",
+) -> Tuple[SourceClaimMatrix, DependencyMatrix]:
+    """Build ``(SC, D)`` from an event log and a follow graph.
+
+    Returns the source-claim matrix and the full-cell dependency
+    indicators.  ``n_assertions`` must be supplied because a log may not
+    mention every assertion of the study (silent assertions still occupy
+    matrix columns).
+    """
+    check_in_choices(policy, "policy", _POLICIES)
+    n_sources = graph.n_sources
+    if log.n_sources > n_sources:
+        raise ValidationError(
+            f"log references source {log.n_sources - 1} but the graph has "
+            f"only {n_sources} sources"
+        )
+    if log.n_assertions > n_assertions:
+        raise ValidationError(
+            f"log references assertion {log.n_assertions - 1} but "
+            f"n_assertions={n_assertions}"
+        )
+    first_times = log.first_report_times(n_sources, n_assertions)
+    claims = np.isfinite(first_times).astype(np.int8)
+    dependency = np.zeros_like(claims)
+    transitive = policy == "transitive"
+    for source in range(n_sources):
+        ancestors = sorted(graph.ancestors(source, transitive=transitive))
+        if not ancestors:
+            continue
+        ancestor_times = first_times[ancestors, :]
+        earliest_ancestor = ancestor_times.min(axis=0)
+        own = first_times[source, :]
+        reported = np.isfinite(own)
+        # Claims: dependent iff an ancestor reported strictly earlier.
+        dependency[source, reported] = (
+            earliest_ancestor[reported] < own[reported]
+        ).astype(np.int8)
+        # Non-claims: dependent iff any ancestor ever reported.
+        silent = ~reported
+        dependency[source, silent] = np.isfinite(
+            earliest_ancestor[silent]
+        ).astype(np.int8)
+    return (
+        SourceClaimMatrix(claims),
+        DependencyMatrix(dependency),
+    )
+
+
+def build_problem(
+    log: EventLog,
+    graph: FollowGraph,
+    *,
+    n_assertions: int,
+    policy: str = "direct",
+    truth: np.ndarray = None,
+) -> SensingProblem:
+    """Convenience wrapper: extract matrices and wrap them in a problem."""
+    claims, dependency = extract_dependency(
+        log, graph, n_assertions=n_assertions, policy=policy
+    )
+    return SensingProblem(claims=claims, dependency=dependency, truth=truth)
+
+
+def dependency_summary(problem: SensingProblem) -> dict:
+    """Descriptive statistics of the dependency structure of a problem."""
+    sc = problem.claims.values
+    dep = problem.dependency.values
+    n_claims = int(sc.sum())
+    n_dependent_claims = int((sc & dep).sum())
+    return {
+        "n_sources": problem.n_sources,
+        "n_assertions": problem.n_assertions,
+        "n_claims": n_claims,
+        "n_original_claims": n_claims - n_dependent_claims,
+        "n_dependent_claims": n_dependent_claims,
+        "dependent_claim_fraction": problem.dependent_claim_fraction(),
+        "dependent_cell_fraction": problem.dependency.dependent_fraction,
+    }
+
+
+__all__ = ["build_problem", "dependency_summary", "extract_dependency"]

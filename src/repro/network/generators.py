@@ -1,0 +1,108 @@
+"""Random follow-graph generators.
+
+Two families are needed:
+
+* the **forest of level-two trees** of Section V-A — τ independent root
+  sources, each followed by a share of leaf sources; this spans the
+  spectrum from one root followed by everyone (maximal dependency) to
+  all sources independent (τ = n);
+* **preferential attachment**, the heavy-tailed follower distribution
+  of real Twitter, used by the simulated empirical datasets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.network.graph import FollowGraph
+from repro.utils.errors import ValidationError
+from repro.utils.rng import RandomState, SeedLike
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class LevelTwoForest:
+    """A generated forest: the graph plus its root/leaf structure.
+
+    ``parent[leaf]`` maps each leaf source to the root it follows; roots
+    do not appear as keys.
+    """
+
+    graph: FollowGraph
+    roots: List[int]
+    parent: Dict[int, int]
+
+    @property
+    def n_trees(self) -> int:
+        """Number of trees (τ)."""
+        return len(self.roots)
+
+    def leaves_of(self, root: int) -> List[int]:
+        """Leaf sources following ``root``, ascending."""
+        if root not in self.roots:
+            raise ValidationError(f"source {root} is not a root")
+        return sorted(leaf for leaf, parent in self.parent.items() if parent == root)
+
+
+def level_two_forest(
+    n_sources: int,
+    n_trees: int,
+    seed: SeedLike = None,
+) -> LevelTwoForest:
+    """Generate a forest of τ = ``n_trees`` level-two trees over n sources.
+
+    The first τ source ids are roots; every remaining source becomes a
+    leaf following a uniformly random root.  Each source appears exactly
+    once in the forest (paper Section V-A).  ``n_trees = n_sources``
+    yields the fully independent population.
+    """
+    check_positive_int(n_sources, "n_sources")
+    check_positive_int(n_trees, "n_trees")
+    if n_trees > n_sources:
+        raise ValidationError(
+            f"n_trees ({n_trees}) cannot exceed n_sources ({n_sources})"
+        )
+    rng = RandomState(seed)
+    roots = list(range(n_trees))
+    graph = FollowGraph(n_sources)
+    parent: Dict[int, int] = {}
+    for leaf in range(n_trees, n_sources):
+        root = int(rng.integers(0, n_trees))
+        graph.add_follow(leaf, root)
+        parent[leaf] = root
+    return LevelTwoForest(graph=graph, roots=roots, parent=parent)
+
+
+def preferential_attachment(
+    n_sources: int,
+    links_per_source: int = 2,
+    seed: SeedLike = None,
+) -> FollowGraph:
+    """A Barabási–Albert style follow graph with heavy-tailed popularity.
+
+    Sources join in id order; each new source follows
+    ``links_per_source`` existing sources chosen proportionally to their
+    current follower counts (plus one, so fresh sources are reachable).
+    The result has the few-celebrities / many-lurkers shape of real
+    social platforms.
+    """
+    check_positive_int(n_sources, "n_sources")
+    check_positive_int(links_per_source, "links_per_source")
+    rng = RandomState(seed)
+    graph = FollowGraph(n_sources)
+    follower_counts = np.zeros(n_sources, dtype=np.float64)
+    for newcomer in range(1, n_sources):
+        k = min(links_per_source, newcomer)
+        weights = follower_counts[:newcomer] + 1.0
+        probabilities = weights / weights.sum()
+        followees = rng.choice(newcomer, size=k, replace=False, p=probabilities)
+        for followee in followees:
+            graph.add_follow(newcomer, int(followee))
+            follower_counts[int(followee)] += 1.0
+    return graph
+
+
+__all__ = ["LevelTwoForest", "level_two_forest", "preferential_attachment"]

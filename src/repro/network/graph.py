@@ -1,0 +1,123 @@
+"""Follow graphs: who is influenced by whom.
+
+Section II-A: a source may "see and be influenced by claims made by a
+subset of other sources (e.g., by following them on Twitter)" — those
+sources are its *ancestors*.  The graph is directed: an edge
+``follower → followee`` means the follower sees the followee's posts.
+
+The paper's example (Figure 1) uses direct following only; the library
+also supports transitive ancestry, because information can propagate
+through chains of retweets.  The extraction policy chooses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Set, Tuple
+
+import networkx as nx
+
+from repro.utils.errors import ValidationError
+
+
+class FollowGraph:
+    """A directed follow graph over integer source ids ``0..n-1``."""
+
+    def __init__(self, n_sources: int):
+        if n_sources < 0:
+            raise ValidationError(f"n_sources must be non-negative, got {n_sources}")
+        self.n_sources = n_sources
+        self._followees: List[Set[int]] = [set() for _ in range(n_sources)]
+        self._followers: List[Set[int]] = [set() for _ in range(n_sources)]
+
+    @classmethod
+    def from_edges(
+        cls, n_sources: int, edges: Iterable[Tuple[int, int]]
+    ) -> "FollowGraph":
+        """Build a graph from ``(follower, followee)`` pairs."""
+        graph = cls(n_sources)
+        for follower, followee in edges:
+            graph.add_follow(follower, followee)
+        return graph
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.n_sources:
+            raise ValidationError(
+                f"source id {node} outside [0, {self.n_sources})"
+            )
+
+    def add_follow(self, follower: int, followee: int) -> None:
+        """Record that ``follower`` follows (is influenced by) ``followee``."""
+        self._check_node(follower)
+        self._check_node(followee)
+        if follower == followee:
+            raise ValidationError(f"source {follower} cannot follow itself")
+        self._followees[follower].add(followee)
+        self._followers[followee].add(follower)
+
+    def follows(self, follower: int, followee: int) -> bool:
+        """Whether the direct follow edge exists."""
+        self._check_node(follower)
+        self._check_node(followee)
+        return followee in self._followees[follower]
+
+    def followees(self, source: int) -> Set[int]:
+        """Sources that ``source`` follows directly (its direct ancestors)."""
+        self._check_node(source)
+        return set(self._followees[source])
+
+    def followers(self, source: int) -> Set[int]:
+        """Sources directly following ``source``."""
+        self._check_node(source)
+        return set(self._followers[source])
+
+    def ancestors(self, source: int, *, transitive: bool = False) -> Set[int]:
+        """The ancestor set of ``source``.
+
+        Direct ancestors are the followees; with ``transitive=True`` the
+        set closes over follow chains (excluding the source itself, even
+        when the graph has cycles through it).
+        """
+        self._check_node(source)
+        if not transitive:
+            return set(self._followees[source])
+        seen: Set[int] = set()
+        frontier = list(self._followees[source])
+        while frontier:
+            node = frontier.pop()
+            if node in seen or node == source:
+                continue
+            seen.add(node)
+            frontier.extend(self._followees[node] - seen)
+        seen.discard(source)
+        return seen
+
+    @property
+    def n_edges(self) -> int:
+        """Total number of follow edges."""
+        return sum(len(s) for s in self._followees)
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate ``(follower, followee)`` pairs in deterministic order."""
+        for follower in range(self.n_sources):
+            for followee in sorted(self._followees[follower]):
+                yield follower, followee
+
+    def out_degree_histogram(self) -> Dict[int, int]:
+        """Histogram of followee counts (how many accounts each follows)."""
+        histogram: Dict[int, int] = {}
+        for followees in self._followees:
+            histogram[len(followees)] = histogram.get(len(followees), 0) + 1
+        return histogram
+
+    def to_networkx(self) -> nx.DiGraph:
+        """Export as a networkx DiGraph (edges follower → followee)."""
+        graph = nx.DiGraph()
+        graph.add_nodes_from(range(self.n_sources))
+        graph.add_edges_from(self.edges())
+        return graph
+
+    def __repr__(self) -> str:
+        return f"FollowGraph(n_sources={self.n_sources}, n_edges={self.n_edges})"
+
+
+__all__ = ["FollowGraph"]

@@ -1,0 +1,37 @@
+"""Apollo-style fact-finding pipeline: ingest → cluster → build → rank → grade."""
+
+from repro.pipeline.apollo import ApolloPipeline, ApolloReport, RankedAssertion
+from repro.pipeline.build import (
+    BuiltProblem,
+    build_problem_from_clusters,
+    infer_follow_edges,
+)
+from repro.pipeline.cluster import (
+    STOP_TOKENS,
+    ClusterResult,
+    TokenClusterer,
+    jaccard,
+    tokenize,
+)
+from repro.pipeline.grading import GradingReport, SimulatedGrader, grade_top_k
+from repro.pipeline.ingest import IngestResult, IngestedTweet, ingest_tweets
+
+__all__ = [
+    "ApolloPipeline",
+    "ApolloReport",
+    "BuiltProblem",
+    "ClusterResult",
+    "GradingReport",
+    "IngestResult",
+    "IngestedTweet",
+    "RankedAssertion",
+    "STOP_TOKENS",
+    "SimulatedGrader",
+    "TokenClusterer",
+    "build_problem_from_clusters",
+    "grade_top_k",
+    "infer_follow_edges",
+    "ingest_tweets",
+    "jaccard",
+    "tokenize",
+]

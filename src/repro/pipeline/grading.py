@@ -1,0 +1,128 @@
+"""The Section V-C grading protocol, with simulated graders.
+
+The paper's protocol: collect the top-100 assertions of every
+algorithm, merge and anonymise them, have human graders mark each as
+True / False / Opinion, then de-anonymise and report per algorithm the
+ratio ``#True / (#True + #False + #Opinion)``.
+
+The simulation has real ground truth (DESIGN.md §6), so the
+:class:`SimulatedGrader` grades from the dataset's labels; an optional
+``noise`` knob flips a fraction of verifiable grades to model imperfect
+human research.  The merge/anonymise/de-anonymise choreography is
+reproduced faithfully — the grader sees one shuffled pool of assertion
+ids with no algorithm attribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence
+
+from repro.core.result import FactFindingResult
+from repro.datasets.schema import AssertionLabel
+from repro.utils.errors import ValidationError
+from repro.utils.rng import RandomState, SeedLike
+from repro.utils.validation import check_positive_int, check_probability
+
+
+class SimulatedGrader:
+    """Grades assertion ids against ground-truth labels.
+
+    ``noise`` is the probability a verifiable assertion's grade flips
+    (True↔False); opinions are always recognised as opinions, matching
+    the paper's observation that subjectivity is easy to spot.
+    """
+
+    def __init__(
+        self,
+        labels: Sequence[AssertionLabel],
+        *,
+        noise: float = 0.0,
+        seed: SeedLike = None,
+    ):
+        self.labels = list(labels)
+        self.noise = check_probability(noise, "noise")
+        self._rng = RandomState(seed)
+
+    def grade(self, assertion_ids: Sequence[int]) -> Dict[int, AssertionLabel]:
+        """Grade a (merged, anonymised) pool of assertion ids."""
+        grades: Dict[int, AssertionLabel] = {}
+        for assertion_id in assertion_ids:
+            if not 0 <= assertion_id < len(self.labels):
+                raise ValidationError(
+                    f"assertion id {assertion_id} outside the labelled range "
+                    f"[0, {len(self.labels)})"
+                )
+            label = self.labels[assertion_id]
+            if label.is_verifiable and self._rng.random() < self.noise:
+                label = (
+                    AssertionLabel.FALSE
+                    if label is AssertionLabel.TRUE
+                    else AssertionLabel.TRUE
+                )
+            grades[assertion_id] = label
+        return grades
+
+
+@dataclass(frozen=True)
+class GradingReport:
+    """Per-algorithm outcome of one grading round (one Figure 11 group)."""
+
+    algorithm: str
+    n_true: int
+    n_false: int
+    n_opinion: int
+
+    @property
+    def n_graded(self) -> int:
+        """Total graded assertions for this algorithm."""
+        return self.n_true + self.n_false + self.n_opinion
+
+    @property
+    def true_ratio(self) -> float:
+        """The Figure 11 metric: ``#True / (#True + #False + #Opinion)``."""
+        if self.n_graded == 0:
+            return 0.0
+        return self.n_true / self.n_graded
+
+
+def grade_top_k(
+    results: Mapping[str, FactFindingResult],
+    grader: SimulatedGrader,
+    *,
+    k: int = 100,
+    seed: SeedLike = None,
+) -> Dict[str, GradingReport]:
+    """Run the full Section V-C protocol over algorithm results.
+
+    1. take each algorithm's top-``k`` assertions;
+    2. merge into one pool and shuffle (anonymisation — the grader can
+       carry no per-algorithm bias because it sees ids only once, in
+       random order);
+    3. grade the pool;
+    4. de-anonymise: score each algorithm from the shared grades.
+    """
+    check_positive_int(k, "k")
+    rng = RandomState(seed)
+    top_lists = {
+        name: [int(i) for i in result.top_k(k)] for name, result in results.items()
+    }
+    pool = sorted({i for ids in top_lists.values() for i in ids})
+    shuffled = list(pool)
+    rng.shuffle(shuffled)
+    grades = grader.grade(shuffled)
+    reports: Dict[str, GradingReport] = {}
+    for name, ids in top_lists.items():
+        counts = {label: 0 for label in AssertionLabel}
+        for assertion_id in ids:
+            counts[grades[assertion_id]] += 1
+        reports[name] = GradingReport(
+            algorithm=name,
+            n_true=counts[AssertionLabel.TRUE],
+            n_false=counts[AssertionLabel.FALSE],
+            n_opinion=counts[AssertionLabel.OPINION],
+        )
+    return reports
+
+
+__all__ = ["GradingReport", "SimulatedGrader", "grade_top_k"]

@@ -1,0 +1,87 @@
+"""Ingestion stage of the Apollo-style pipeline.
+
+Takes raw tweets (anything shaped like :class:`repro.datasets.Tweet`),
+normalises user ids into a compact ``0..n-1`` range, orders by time,
+and hands a clean record stream to the clustering stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.datasets.schema import Tweet
+from repro.utils.errors import DataError
+
+
+@dataclass(frozen=True)
+class IngestedTweet:
+    """A tweet after ingestion: compact user index, original ids retained."""
+
+    order: int
+    tweet_id: int
+    user_index: int
+    original_user: int
+    time: float
+    text: str
+    retweet_of: Optional[int]
+
+
+@dataclass
+class IngestResult:
+    """Output of :func:`ingest_tweets`."""
+
+    tweets: List[IngestedTweet]
+    user_ids: List[int]
+
+    @property
+    def n_users(self) -> int:
+        """Distinct users seen."""
+        return len(self.user_ids)
+
+    def user_index(self, original_user: int) -> int:
+        """Map an original user id to its compact index."""
+        try:
+            return self._index[original_user]
+        except AttributeError:
+            self._index: Dict[int, int] = {
+                uid: k for k, uid in enumerate(self.user_ids)
+            }
+            return self._index[original_user]
+
+
+def ingest_tweets(tweets: Iterable[Tweet]) -> IngestResult:
+    """Normalise and time-order a raw tweet stream.
+
+    Raises :class:`DataError` on duplicate tweet ids or empty text,
+    which indicate a broken upstream crawl.
+    """
+    materialised = sorted(tweets, key=lambda t: (t.time, t.tweet_id))
+    seen_ids = set()
+    user_ids: List[int] = []
+    user_index: Dict[int, int] = {}
+    records: List[IngestedTweet] = []
+    for order, tweet in enumerate(materialised):
+        if tweet.tweet_id in seen_ids:
+            raise DataError(f"duplicate tweet id {tweet.tweet_id}")
+        seen_ids.add(tweet.tweet_id)
+        if not tweet.text or not tweet.text.strip():
+            raise DataError(f"tweet {tweet.tweet_id} has empty text")
+        if tweet.user not in user_index:
+            user_index[tweet.user] = len(user_ids)
+            user_ids.append(tweet.user)
+        records.append(
+            IngestedTweet(
+                order=order,
+                tweet_id=tweet.tweet_id,
+                user_index=user_index[tweet.user],
+                original_user=tweet.user,
+                time=tweet.time,
+                text=tweet.text,
+                retweet_of=tweet.retweet_of,
+            )
+        )
+    return IngestResult(tweets=records, user_ids=user_ids)
+
+
+__all__ = ["IngestResult", "IngestedTweet", "ingest_tweets"]

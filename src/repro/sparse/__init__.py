@@ -1,0 +1,7 @@
+"""Sparse substrate for full-scale field data (requires scipy)."""
+
+from repro.sparse.em import SparseEMExt
+from repro.sparse.extract import extract_dependency_sparse
+from repro.sparse.problem import SparseSensingProblem
+
+__all__ = ["SparseEMExt", "SparseSensingProblem", "extract_dependency_sparse"]

@@ -1,0 +1,19 @@
+"""Synthetic workload generation (Section V-A) and oracle parameters."""
+
+from repro.synthetic.config import GeneratorConfig, RealizedParameters
+from repro.synthetic.generator import (
+    SyntheticDataset,
+    SyntheticGenerator,
+    generate_dataset,
+)
+from repro.synthetic.oracle import analytic_parameters, empirical_parameters
+
+__all__ = [
+    "GeneratorConfig",
+    "RealizedParameters",
+    "SyntheticDataset",
+    "SyntheticGenerator",
+    "analytic_parameters",
+    "empirical_parameters",
+    "generate_dataset",
+]

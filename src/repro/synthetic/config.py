@@ -1,0 +1,183 @@
+"""Configuration of the Section V-A synthetic data generator.
+
+The paper draws most knobs uniformly from ranges ("Parameters with
+ranges are chosen uniformly within the range"); every probability field
+here therefore accepts either a scalar or a ``(low, high)`` pair.
+
+Paper defaults (Section V-A): ``n = 20``, ``m = 50``,
+``p_on ∈ [0.5, 0.7]``, ``τ ∈ [8, 10]``, ``p_dep ∈ [0.4, 0.6]``,
+``d ∈ [0.55, 0.75]``, ``p_indepT ∈ [7/12, 3/4]``,
+``p_depT ∈ [0.4, 0.6]``.  The estimator simulations (Section V-B) reuse
+these with ``n = 50``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple, Union
+
+import numpy as np
+
+from repro.utils.errors import ValidationError
+from repro.utils.validation import check_positive_int
+
+RangeLike = Union[float, Tuple[float, float]]
+IntRangeLike = Union[int, Tuple[int, int]]
+
+
+def _as_range(value: RangeLike, name: str) -> Tuple[float, float]:
+    if isinstance(value, (int, float)):
+        value = (float(value), float(value))
+    low, high = float(value[0]), float(value[1])
+    if not 0.0 <= low <= high <= 1.0:
+        raise ValidationError(
+            f"{name} must be a probability or ascending probability pair, "
+            f"got {value}"
+        )
+    return (low, high)
+
+
+def _as_int_range(value: IntRangeLike, name: str) -> Tuple[int, int]:
+    if isinstance(value, (int, np.integer)):
+        value = (int(value), int(value))
+    low, high = int(value[0]), int(value[1])
+    if not 1 <= low <= high:
+        raise ValidationError(
+            f"{name} must be a positive int or ascending int pair, got {value}"
+        )
+    return (low, high)
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """All knobs of the synthetic workload generator.
+
+    Attributes
+    ----------
+    n_sources, n_assertions:
+        Population sizes (``n`` and ``m`` in the paper).
+    n_trees:
+        τ — number of level-two dependency trees; ``τ = n`` means all
+        sources independent.
+    true_ratio:
+        ``d`` — the fraction of assertions placed in the True pool.
+    p_on:
+        Per-source participation probability per claim opportunity.
+    p_dep:
+        Per-leaf probability of drawing from the dependent candidate
+        subset (assertions its root already made) when that subset is
+        non-empty.
+    p_indep_true:
+        ``p_i^{indepT}`` — probability an *independent* claim targets the
+        True pool.
+    p_dep_true:
+        ``p_i^{depT}`` — probability a *dependent* claim targets the True
+        pool.
+    mode:
+        Claim-generation semantics (DESIGN.md §5.3):
+
+        * ``"cell"`` (default) — model-faithful Bernoulli cells.  Each
+          (source, assertion) cell is claimed independently with the
+          rate the Section II-B model prescribes:
+          ``a = p_on · p_indepT``, ``b = p_on · (1 − p_indepT)`` on
+          independent cells; ``f = p_dep · p_depT``,
+          ``g = p_dep · (1 − p_depT)`` on a leaf's dependent-capable
+          cells (assertions its root already claimed).  Under this mode
+          the discrimination odds ``a/b`` equal the paper's tuning knob
+          ``p_indepT/(1 − p_indepT)`` exactly.
+        * ``"pool"`` — the literal pool-sampling text of Section V-A:
+          per opportunity a participating source draws one unclaimed
+          assertion uniformly from the chosen truth pool.  Kept for
+          fidelity; note that unequal pool sizes dilute (and for
+          ``d > ~0.67`` even invert) the per-assertion support signal.
+    rounds:
+        Claim opportunities per source in ``"pool"`` mode (ignored by
+        ``"cell"`` mode).  The default ``0`` means "use ``n_assertions``".
+    """
+
+    n_sources: int = 20
+    n_assertions: int = 50
+    n_trees: IntRangeLike = (8, 10)
+    true_ratio: RangeLike = (0.55, 0.75)
+    p_on: RangeLike = (0.5, 0.7)
+    p_dep: RangeLike = (0.4, 0.6)
+    p_indep_true: RangeLike = (7.0 / 12.0, 3.0 / 4.0)
+    p_dep_true: RangeLike = (0.4, 0.6)
+    mode: str = "cell"
+    rounds: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.n_sources, "n_sources")
+        check_positive_int(self.n_assertions, "n_assertions")
+        if self.mode not in ("cell", "pool"):
+            raise ValidationError(
+                f"mode must be 'cell' or 'pool', got {self.mode!r}"
+            )
+        object.__setattr__(self, "n_trees", _as_int_range(self.n_trees, "n_trees"))
+        if self.n_trees[1] > self.n_sources:
+            raise ValidationError(
+                f"n_trees upper bound {self.n_trees[1]} exceeds n_sources "
+                f"{self.n_sources}"
+            )
+        for name in ("true_ratio", "p_on", "p_dep", "p_indep_true", "p_dep_true"):
+            object.__setattr__(self, name, _as_range(getattr(self, name), name))
+        if self.rounds < 0:
+            raise ValidationError(f"rounds must be non-negative, got {self.rounds}")
+
+    @property
+    def effective_rounds(self) -> int:
+        """Claim opportunities per source (``rounds`` or ``n_assertions``)."""
+        return self.rounds if self.rounds > 0 else self.n_assertions
+
+    @classmethod
+    def paper_defaults(cls, **overrides) -> "GeneratorConfig":
+        """The Section V-A default parameterisation (bound simulations)."""
+        return cls(**overrides)
+
+    @classmethod
+    def estimator_defaults(cls, **overrides) -> "GeneratorConfig":
+        """Section V-B defaults: same ranges with ``n = 50`` sources."""
+        overrides.setdefault("n_sources", 50)
+        return cls(**overrides)
+
+    def with_dependent_odds(self, odds: float) -> "GeneratorConfig":
+        """Fix ``p_dep_true`` so that ``p_depT / (1 - p_depT) = odds``.
+
+        The tuning knob of the paper's Figure 5 / Figure 10 sweeps.
+        """
+        if odds <= 0:
+            raise ValidationError(f"odds must be positive, got {odds}")
+        p = odds / (1.0 + odds)
+        return replace(self, p_dep_true=(p, p))
+
+    def with_independent_odds(self, odds: float) -> "GeneratorConfig":
+        """Fix ``p_indep_true`` so that ``p_indepT / (1 - p_indepT) = odds``."""
+        if odds <= 0:
+            raise ValidationError(f"odds must be positive, got {odds}")
+        p = odds / (1.0 + odds)
+        return replace(self, p_indep_true=(p, p))
+
+
+@dataclass(frozen=True)
+class RealizedParameters:
+    """The concrete per-trial draws the generator made from a config.
+
+    Captured so experiments can report (and tests can verify) exactly
+    which population was generated.
+    """
+
+    n_trees: int
+    true_ratio: float
+    p_on: np.ndarray
+    p_dep: np.ndarray
+    p_indep_true: np.ndarray
+    p_dep_true: np.ndarray
+    n_true_assertions: int = field(default=0)
+
+    @property
+    def n_sources(self) -> int:
+        """Number of sources in the realized population."""
+        return self.p_on.size
+
+
+__all__ = ["GeneratorConfig", "RealizedParameters"]

@@ -1,0 +1,28 @@
+"""Shared utilities: seeded randomness, validation helpers, exceptions."""
+
+from repro.utils.errors import (
+    ConvergenceError,
+    DataError,
+    ReproError,
+    ValidationError,
+)
+from repro.utils.rng import RandomState, spawn_rngs
+from repro.utils.validation import (
+    check_binary_matrix,
+    check_probability,
+    check_probability_array,
+    check_same_shape,
+)
+
+__all__ = [
+    "ConvergenceError",
+    "DataError",
+    "RandomState",
+    "ReproError",
+    "ValidationError",
+    "check_binary_matrix",
+    "check_probability",
+    "check_probability_array",
+    "check_same_shape",
+    "spawn_rngs",
+]

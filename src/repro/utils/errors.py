@@ -1,0 +1,32 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every exception raised intentionally by the library derives from
+:class:`ReproError`, so downstream users can catch library failures with
+a single ``except`` clause while still distinguishing validation
+problems from numerical ones.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An input failed structural or range validation.
+
+    Inherits from :class:`ValueError` so that generic callers treating
+    bad arguments as value errors keep working.
+    """
+
+
+class DataError(ReproError):
+    """A dataset or event stream is malformed or internally inconsistent."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative algorithm failed to converge within its budget."""
+
+    def __init__(self, message: str, iterations: int = 0, residual: float = float("nan")):
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual

@@ -1,0 +1,52 @@
+"""Seeded randomness helpers.
+
+All stochastic code in the library takes either an integer seed or a
+:class:`numpy.random.Generator`.  :func:`RandomState` normalises the two,
+and :func:`spawn_rngs` derives independent child generators for repeated
+trials so experiments are reproducible *and* trials are statistically
+independent.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator]
+
+
+def RandomState(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``seed`` may be ``None`` (fresh entropy), an integer, or an existing
+    generator (returned unchanged, so callers can thread one generator
+    through a pipeline).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: SeedLike, count: int) -> List[np.random.Generator]:
+    """Derive ``count`` statistically independent generators from ``seed``.
+
+    Uses numpy's ``SeedSequence.spawn`` machinery so children never
+    overlap, regardless of how many draws each one performs.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if isinstance(seed, np.random.Generator):
+        # Spawn from the generator's bit stream deterministically.
+        seeds = seed.integers(0, 2**63 - 1, size=count)
+        return [np.random.default_rng(int(s)) for s in seeds]
+    sequence = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in sequence.spawn(count)]
+
+
+def derive_seed(rng: np.random.Generator) -> int:
+    """Draw a fresh integer seed from ``rng`` (for handing to sub-systems)."""
+    return int(rng.integers(0, 2**63 - 1))
+
+
+__all__ = ["RandomState", "SeedLike", "derive_seed", "spawn_rngs"]

@@ -1,0 +1,93 @@
+"""Input validation helpers shared across the library.
+
+These functions raise :class:`~repro.utils.errors.ValidationError` with
+actionable messages.  They are used at every public API boundary so that
+malformed inputs fail fast instead of producing silently wrong
+estimates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from repro.utils.errors import ValidationError
+
+
+def check_probability(value: float, name: str, *, inclusive: bool = True) -> float:
+    """Validate that ``value`` is a probability in ``[0, 1]``.
+
+    With ``inclusive=False`` the open interval ``(0, 1)`` is required,
+    which is what iterative estimators need to avoid log(0).
+    """
+    value = float(value)
+    if np.isnan(value):
+        raise ValidationError(f"{name} must be a probability, got NaN")
+    if inclusive:
+        if not 0.0 <= value <= 1.0:
+            raise ValidationError(f"{name} must be in [0, 1], got {value}")
+    else:
+        if not 0.0 < value < 1.0:
+            raise ValidationError(f"{name} must be in (0, 1), got {value}")
+    return value
+
+
+def check_probability_array(values: np.ndarray, name: str) -> np.ndarray:
+    """Validate an array of probabilities; returns a float64 copy."""
+    array = np.asarray(values, dtype=np.float64)
+    if array.size and (np.isnan(array).any() or array.min() < 0.0 or array.max() > 1.0):
+        raise ValidationError(f"{name} must contain probabilities in [0, 1]")
+    return array
+
+
+def check_binary_matrix(matrix: np.ndarray, name: str) -> np.ndarray:
+    """Validate a 2-D 0/1 matrix; returns an int8 copy."""
+    array = np.asarray(matrix)
+    if array.ndim != 2:
+        raise ValidationError(f"{name} must be 2-D, got shape {array.shape}")
+    if array.size and not np.isin(array, (0, 1)).all():
+        raise ValidationError(f"{name} must contain only 0/1 entries")
+    return array.astype(np.int8)
+
+
+def check_same_shape(a: np.ndarray, b: np.ndarray, names: Tuple[str, str]) -> None:
+    """Validate that two arrays share a shape."""
+    if a.shape != b.shape:
+        raise ValidationError(
+            f"{names[0]} and {names[1]} must have the same shape; "
+            f"got {a.shape} vs {b.shape}"
+        )
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Validate a strictly positive integer."""
+    if int(value) != value or value <= 0:
+        raise ValidationError(f"{name} must be a positive integer, got {value!r}")
+    return int(value)
+
+
+def check_nonnegative_int(value: int, name: str) -> int:
+    """Validate a non-negative integer."""
+    if int(value) != value or value < 0:
+        raise ValidationError(f"{name} must be a non-negative integer, got {value!r}")
+    return int(value)
+
+
+def check_in_choices(value: str, name: str, choices: Iterable[str]) -> str:
+    """Validate a string option against a closed set of choices."""
+    options = tuple(choices)
+    if value not in options:
+        raise ValidationError(f"{name} must be one of {options}, got {value!r}")
+    return value
+
+
+__all__ = [
+    "check_binary_matrix",
+    "check_in_choices",
+    "check_nonnegative_int",
+    "check_positive_int",
+    "check_probability",
+    "check_probability_array",
+    "check_same_shape",
+]

@@ -1,0 +1,137 @@
+"""Tests for the heuristic baselines: Voting, Sums, Average.Log, TruthFinder."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import AverageLog, Sums, TruthFinder, Voting, threshold_decisions
+from repro.core import SensingProblem
+from repro.utils.errors import ValidationError
+
+
+@pytest.fixture
+def lopsided_problem():
+    """Assertion 0 has three supporters, assertion 1 has one, 2 has none."""
+    sc = np.array(
+        [
+            [1, 0, 0],
+            [1, 0, 0],
+            [1, 1, 0],
+        ]
+    )
+    return SensingProblem.independent(sc)
+
+
+class TestThresholdDecisions:
+    def test_cuts_at_normalised_half(self):
+        decisions = threshold_decisions(np.array([0.0, 10.0, 4.0, 6.0]))
+        np.testing.assert_array_equal(decisions, [0, 1, 0, 1])
+
+    def test_degenerate_scores_all_true(self):
+        np.testing.assert_array_equal(
+            threshold_decisions(np.array([3.0, 3.0])), [1, 1]
+        )
+
+    def test_empty(self):
+        assert threshold_decisions(np.array([])).size == 0
+
+
+class TestVoting:
+    def test_scores_are_support_counts(self, lopsided_problem):
+        result = Voting().fit(lopsided_problem)
+        np.testing.assert_array_equal(result.scores, [3, 1, 0])
+
+    def test_ranking(self, lopsided_problem):
+        result = Voting().fit(lopsided_problem)
+        np.testing.assert_array_equal(result.ranking(), [0, 1, 2])
+
+    def test_ignores_dependency(self, tiny_problem):
+        """Voting counts dependent claims at face value (its known flaw)."""
+        result = Voting().fit(tiny_problem)
+        np.testing.assert_array_equal(result.scores, [2, 2])
+
+
+class TestSums:
+    def test_favours_supported_assertions(self, lopsided_problem):
+        result = Sums().fit(lopsided_problem)
+        assert result.scores[0] > result.scores[1] > result.scores[2]
+
+    def test_scores_normalised(self, lopsided_problem):
+        result = Sums().fit(lopsided_problem)
+        assert result.scores.max() == pytest.approx(1.0)
+
+    def test_reports_iterations(self, lopsided_problem):
+        result = Sums().fit(lopsided_problem)
+        assert result.extras["n_iterations"] >= 1
+
+    def test_trust_rewards_prolific_good_sources(self):
+        sc = np.array(
+            [
+                [1, 1, 1, 0],  # claims three well-supported assertions
+                [1, 1, 1, 0],
+                [0, 0, 0, 1],  # claims a lonely one
+            ]
+        )
+        result = Sums().fit(SensingProblem.independent(sc))
+        trust = result.extras["trust"]
+        assert trust[0] > trust[2]
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValidationError):
+            Sums(max_iterations=0)
+        with pytest.raises(ValidationError):
+            Sums(tolerance=0.0)
+
+    def test_empty_support_handled(self):
+        sc = np.zeros((2, 3), dtype=int)
+        result = Sums().fit(SensingProblem.independent(sc))
+        np.testing.assert_array_equal(result.scores, 0.0)
+
+
+class TestAverageLog:
+    def test_single_claim_sources_get_zero_trust(self):
+        sc = np.array([[1, 0], [0, 1]])
+        result = AverageLog().fit(SensingProblem.independent(sc))
+        np.testing.assert_allclose(result.extras["trust"], 0.0)
+
+    def test_prolific_sources_outrank(self):
+        sc = np.array(
+            [
+                [1, 1, 1, 1, 0],
+                [1, 1, 1, 1, 0],
+                [0, 0, 0, 0, 1],
+            ]
+        )
+        result = AverageLog().fit(SensingProblem.independent(sc))
+        assert result.scores[0] > result.scores[4]
+
+    def test_algorithm_name(self):
+        assert AverageLog().algorithm_name == "average-log"
+
+
+class TestTruthFinder:
+    def test_confidences_in_unit_interval(self, lopsided_problem):
+        result = TruthFinder().fit(lopsided_problem)
+        assert ((result.scores >= 0) & (result.scores <= 1)).all()
+
+    def test_support_ordering(self, lopsided_problem):
+        result = TruthFinder().fit(lopsided_problem)
+        assert result.scores[0] > result.scores[1] > result.scores[2]
+
+    def test_dampening_required_positive(self):
+        with pytest.raises(ValidationError):
+            TruthFinder(dampening=0.0)
+
+    def test_initial_trust_validated(self):
+        with pytest.raises(ValidationError):
+            TruthFinder(initial_trust=1.5)
+
+    def test_converges_quickly(self, lopsided_problem):
+        result = TruthFinder().fit(lopsided_problem)
+        assert result.extras["n_iterations"] < 100
+
+    def test_full_trust_stays_finite(self):
+        """A source whose every claim reaches confidence 1 must not blow up."""
+        sc = np.array([[1], [1], [1]])
+        result = TruthFinder(dampening=5.0).fit(SensingProblem.independent(sc))
+        assert np.isfinite(result.scores).all()
+        assert np.isfinite(result.extras["trust"]).all()

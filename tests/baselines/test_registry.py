@@ -1,0 +1,46 @@
+"""Tests for the algorithm registry."""
+
+import pytest
+
+from repro.baselines import (
+    ALGORITHM_REGISTRY,
+    EMPIRICAL_ALGORITHMS,
+    SIMULATION_ALGORITHMS,
+    make_fact_finder,
+)
+from repro.utils.errors import ValidationError
+
+
+def test_registry_covers_empirical_algorithms():
+    for name in EMPIRICAL_ALGORITHMS:
+        assert name in ALGORITHM_REGISTRY
+
+
+def test_registry_covers_simulation_algorithms():
+    for name in SIMULATION_ALGORITHMS:
+        assert name in ALGORITHM_REGISTRY
+
+
+def test_seven_empirical_algorithms():
+    assert len(EMPIRICAL_ALGORITHMS) == 7
+    assert EMPIRICAL_ALGORITHMS[-1] == "em-ext"
+
+
+def test_make_fact_finder_instantiates_all(synthetic_dataset):
+    blind = synthetic_dataset.problem.without_truth()
+    for name in EMPIRICAL_ALGORITHMS:
+        kwargs = {"seed": 0} if name in ("em", "em-social", "em-ext") else {}
+        finder = make_fact_finder(name, **kwargs)
+        result = finder.fit(blind)
+        assert result.algorithm == name
+        assert result.scores.size == blind.n_assertions
+
+
+def test_unknown_algorithm():
+    with pytest.raises(ValidationError):
+        make_fact_finder("oracle")
+
+
+def test_registry_names_match_classes():
+    for name, cls in ALGORITHM_REGISTRY.items():
+        assert cls.algorithm_name == name

@@ -1,0 +1,77 @@
+"""Tests for the closed-form Bhattacharyya bounds."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bounds import (
+    bhattacharyya_bounds,
+    bhattacharyya_coefficient,
+    exact_bound,
+    exact_column_bound,
+)
+from repro.core import SourceParameters
+from repro.utils.errors import ValidationError
+
+
+class TestCoefficient:
+    def test_useless_sources_give_one(self):
+        params = SourceParameters.from_scalars(4, a=0.4, b=0.4, f=0.4, g=0.4, z=0.5)
+        assert bhattacharyya_coefficient(np.zeros(4), params) == pytest.approx(1.0)
+
+    def test_perfect_sources_give_zero(self):
+        params = SourceParameters.from_scalars(2, a=1.0, b=0.0, f=1.0, g=0.0, z=0.5)
+        assert bhattacharyya_coefficient(np.zeros(2), params) == pytest.approx(0.0)
+
+    def test_uses_dependent_rates_when_flagged(self):
+        params = SourceParameters(
+            a=np.array([0.9]), b=np.array([0.1]),  # informative independent
+            f=np.array([0.5]), g=np.array([0.5]),  # useless dependent
+            z=0.5,
+        )
+        independent = bhattacharyya_coefficient(np.array([0]), params)
+        dependent = bhattacharyya_coefficient(np.array([1]), params)
+        assert independent < dependent == pytest.approx(1.0)
+
+    def test_in_unit_interval(self, small_params):
+        rho = bhattacharyya_coefficient(np.array([0, 1, 0]), small_params)
+        assert 0.0 <= rho <= 1.0
+
+
+class TestBounds:
+    def test_bracket_exact_on_fixture(self, small_params):
+        d_column = np.array([1, 0, 0])
+        exact = exact_column_bound(d_column, small_params).total
+        lower, upper = bhattacharyya_bounds(d_column, small_params)
+        assert lower - 1e-12 <= exact <= upper + 1e-12
+
+    def test_matrix_form(self, small_params, rng):
+        dependency = (rng.random((3, 20)) < 0.4).astype(int)
+        exact = exact_bound(dependency, small_params).total
+        lower, upper = bhattacharyya_bounds(dependency, small_params)
+        assert lower - 1e-12 <= exact <= upper + 1e-12
+
+    def test_upper_capped_at_prior(self):
+        params = SourceParameters.from_scalars(2, a=0.5, b=0.5, f=0.5, g=0.5, z=0.2)
+        _, upper = bhattacharyya_bounds(np.zeros(2), params)
+        assert upper == pytest.approx(0.2)
+
+    def test_invalid_shape(self, small_params):
+        with pytest.raises(ValidationError):
+            bhattacharyya_bounds(np.zeros((2, 2, 2)), small_params)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=10),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_bhattacharyya_sandwiches_exact(n, seed):
+    """Property: lower ≤ exact ≤ upper for arbitrary θ and D."""
+    rng = np.random.default_rng(seed)
+    params = SourceParameters.random(n, seed=seed, informative=False)
+    d_column = (rng.random(n) < 0.5).astype(int)
+    exact = exact_column_bound(d_column, params).total
+    lower, upper = bhattacharyya_bounds(d_column, params)
+    assert lower - 1e-9 <= exact <= upper + 1e-9

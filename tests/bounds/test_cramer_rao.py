@@ -1,0 +1,84 @@
+"""Tests for Cramér–Rao parameter confidence bounds."""
+
+import numpy as np
+import pytest
+
+from repro.bounds import fisher_information, parameter_confidence
+from repro.core import EMExtEstimator
+from repro.utils.errors import ValidationError
+
+
+@pytest.fixture
+def fitted(synthetic_dataset):
+    problem = synthetic_dataset.problem.without_truth()
+    result = EMExtEstimator(seed=0).fit(problem)
+    return problem, result
+
+
+class TestFisherInformation:
+    def test_keys_and_shapes(self, fitted):
+        problem, result = fitted
+        info = fisher_information(problem, result.parameters, result.scores)
+        assert set(info) == {"a", "b", "f", "g"}
+        for values in info.values():
+            assert values.shape == (problem.n_sources,)
+            assert (values >= 0).all()
+
+    def test_posterior_shape_checked(self, fitted):
+        problem, result = fitted
+        with pytest.raises(ValidationError):
+            fisher_information(problem, result.parameters, np.array([0.5]))
+
+    def test_more_assertions_more_information(self):
+        """Doubling the data doubles the (complete-data) information."""
+        from repro.core import SensingProblem, SourceParameters
+
+        sc = np.array([[1, 0], [0, 1]])
+        problem1 = SensingProblem.independent(sc)
+        problem2 = SensingProblem.independent(np.hstack([sc, sc]))
+        params = SourceParameters.from_scalars(2, a=0.6, b=0.3, f=0.5, g=0.4, z=0.5)
+        info1 = fisher_information(problem1, params, np.array([0.5, 0.5]))
+        info2 = fisher_information(problem2, params, np.array([0.5] * 4))
+        np.testing.assert_allclose(info2["a"], 2 * info1["a"])
+
+
+class TestParameterConfidence:
+    def test_intervals_contain_estimates(self, fitted):
+        problem, result = fitted
+        confidence = parameter_confidence(
+            problem, result.parameters, result.scores, confidence=0.95
+        )
+        for name in ("a", "b", "f", "g"):
+            estimate = getattr(result.parameters, name)
+            assert (confidence.lower[name] <= estimate + 1e-12).all()
+            assert (confidence.upper[name] >= estimate - 1e-12).all()
+
+    def test_higher_confidence_wider(self, fitted):
+        problem, result = fitted
+        narrow = parameter_confidence(
+            problem, result.parameters, result.scores, confidence=0.90
+        )
+        wide = parameter_confidence(
+            problem, result.parameters, result.scores, confidence=0.99
+        )
+        assert (
+            wide.interval_width("a") >= narrow.interval_width("a") - 1e-12
+        ).all()
+
+    def test_unsupported_confidence(self, fitted):
+        problem, result = fitted
+        with pytest.raises(ValidationError):
+            parameter_confidence(problem, result.parameters, result.scores, confidence=0.5)
+
+    def test_unknown_parameter_name(self, fitted):
+        problem, result = fitted
+        confidence = parameter_confidence(problem, result.parameters, result.scores)
+        with pytest.raises(ValidationError):
+            confidence.interval_width("q")
+
+    def test_intervals_clipped_to_unit(self, fitted):
+        problem, result = fitted
+        confidence = parameter_confidence(problem, result.parameters, result.scores)
+        for name in ("a", "b", "f", "g"):
+            assert (confidence.lower[name] >= 0).all()
+            assert (confidence.upper[name] <= 1).all()

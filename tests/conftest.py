@@ -1,0 +1,66 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.core import DependencyMatrix, SensingProblem, SourceClaimMatrix, SourceParameters
+from repro.synthetic import GeneratorConfig, generate_dataset
+
+
+@pytest.fixture
+def tiny_problem() -> SensingProblem:
+    """The Figure 1 example: John follows Sally; Heather independent.
+
+    Sources: 0 = John, 1 = Sally, 2 = Heather.
+    Assertions: 0 = Main St congested, 1 = University Ave congested.
+    John repeats Sally's Main St report (dependent) and independently
+    reports University Ave.
+    """
+    sc = np.array(
+        [
+            [1, 1],  # John reported both
+            [1, 0],  # Sally reported Main St
+            [0, 1],  # Heather reported University Ave
+        ]
+    )
+    dep = np.array(
+        [
+            [1, 0],  # John's Main St claim is dependent
+            [0, 0],
+            [0, 0],
+        ]
+    )
+    truth = np.array([1, 1])
+    return SensingProblem(
+        claims=SourceClaimMatrix(sc), dependency=DependencyMatrix(dep), truth=truth
+    )
+
+
+@pytest.fixture
+def small_params() -> SourceParameters:
+    """A hand-built 3-source parameter set with informative sources."""
+    return SourceParameters(
+        a=np.array([0.7, 0.6, 0.5]),
+        b=np.array([0.2, 0.3, 0.1]),
+        f=np.array([0.6, 0.5, 0.4]),
+        g=np.array([0.3, 0.25, 0.2]),
+        z=0.6,
+    )
+
+
+@pytest.fixture
+def synthetic_dataset():
+    """A medium synthetic dataset with fixed seed."""
+    return generate_dataset(GeneratorConfig(), seed=1234)
+
+
+@pytest.fixture
+def estimator_dataset():
+    """A Section V-B style dataset (n = 50)."""
+    return generate_dataset(GeneratorConfig.estimator_defaults(), seed=99)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fixed-seed RNG."""
+    return np.random.default_rng(7)

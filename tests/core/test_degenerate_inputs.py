@@ -1,0 +1,88 @@
+"""Failure-injection tests: degenerate and adversarial inputs.
+
+Estimators must behave sensibly — not crash, not emit NaN — on empty
+matrices, all-zero claims, all-ones claims, single rows/columns, and
+fully dependent data.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import EMPIRICAL_ALGORITHMS, make_fact_finder
+from repro.core import EMExtEstimator, SensingProblem
+from repro.bounds import exact_bound
+from repro.synthetic import empirical_parameters
+
+
+def _finders():
+    for name in EMPIRICAL_ALGORITHMS:
+        kwargs = {"seed": 0} if name in ("em", "em-social", "em-ext") else {}
+        yield name, make_fact_finder(name, **kwargs)
+
+
+@pytest.mark.parametrize(
+    "claims",
+    [
+        np.zeros((4, 6), dtype=int),              # nobody claims anything
+        np.ones((4, 6), dtype=int),               # everybody claims everything
+        np.eye(4, 6, dtype=int),                  # one claim per source
+    ],
+    ids=["all-silent", "all-claiming", "diagonal"],
+)
+def test_every_algorithm_survives_degenerate_claims(claims):
+    problem = SensingProblem.independent(claims)
+    for name, finder in _finders():
+        result = finder.fit(problem)
+        assert np.isfinite(result.scores).all(), name
+        assert result.scores.shape == (6,), name
+
+
+def test_single_source_single_assertion():
+    problem = SensingProblem.independent(np.array([[1]]))
+    for name, finder in _finders():
+        result = finder.fit(problem)
+        assert result.scores.shape == (1,), name
+        assert np.isfinite(result.scores).all(), name
+
+
+def test_single_assertion_many_sources():
+    problem = SensingProblem.independent(np.array([[1], [0], [1], [1]]))
+    result = EMExtEstimator(seed=0).fit(problem)
+    assert result.scores.shape == (1,)
+
+
+def test_fully_dependent_matrix():
+    """Every cell dependent: the independent parameters have no data."""
+    claims = np.array([[1, 0, 1], [0, 1, 1]])
+    dependency = np.ones_like(claims)
+    problem = SensingProblem(claims, dependency)
+    result = EMExtEstimator(seed=0).fit(problem)
+    assert np.isfinite(result.scores).all()
+
+
+def test_duplicate_rows_do_not_break_estimation():
+    """Perfectly cloned sources (extreme correlation) stay finite."""
+    row = np.array([1, 0, 1, 1, 0, 1, 0, 0])
+    claims = np.tile(row, (6, 1))
+    problem = SensingProblem.independent(claims)
+    result = EMExtEstimator(seed=0).fit(problem)
+    assert np.isfinite(result.scores).all()
+    # Clones agree, so the posterior saturates in one direction per column.
+    assert set(np.round(result.scores, 3)) <= {0.0, 1.0, 0.5}
+
+
+def test_bound_on_degenerate_oracle():
+    """Oracle parameters measured off constant data hit the clamp path."""
+    claims = np.ones((3, 4), dtype=int)
+    problem = SensingProblem.independent(claims, truth=np.array([1, 1, 0, 1]))
+    params = empirical_parameters(problem)  # a = b = 1 exactly
+    result = exact_bound(problem.dependency.values, params)
+    assert 0.0 <= result.total <= 0.5
+
+
+def test_conflicting_sources_stay_calibrated():
+    """Two blocks of sources in perfect disagreement."""
+    claims = np.vstack([np.tile([1, 0], (3, 5)), np.tile([0, 1], (3, 5))])
+    problem = SensingProblem.independent(claims)
+    result = EMExtEstimator(seed=0).fit(problem)
+    assert np.isfinite(result.scores).all()

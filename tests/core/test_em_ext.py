@@ -1,0 +1,171 @@
+"""Tests for the EM-Ext estimator (Algorithm 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import EMConfig, EMExtEstimator, SensingProblem, SourceParameters, run_em_ext
+from repro.core.likelihood import data_log_likelihood
+from repro.synthetic import GeneratorConfig, generate_dataset
+from repro.utils.errors import ValidationError
+
+
+class TestEMConfig:
+    def test_defaults_valid(self):
+        config = EMConfig()
+        assert config.max_iterations == 200
+        assert config.init_strategy == "staged"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_iterations": 0},
+            {"tolerance": 0.0},
+            {"epsilon": 0.0},
+            {"epsilon": 0.6},
+            {"n_restarts": 0},
+            {"smoothing": -1.0},
+            {"init_strategy": "nope"},
+        ],
+    )
+    def test_invalid_configs(self, kwargs):
+        with pytest.raises(ValidationError):
+            EMConfig(**kwargs)
+
+
+class TestFit:
+    def test_returns_valid_result(self, synthetic_dataset):
+        result = EMExtEstimator(seed=0).fit(synthetic_dataset.problem.without_truth())
+        assert result.algorithm == "em-ext"
+        assert result.scores.shape == (synthetic_dataset.problem.n_assertions,)
+        assert ((result.scores >= 0) & (result.scores <= 1)).all()
+        assert set(np.unique(result.decisions)) <= {0, 1}
+        assert result.n_iterations >= 1
+        assert result.parameters is not None
+
+    def test_deterministic_given_seed(self, synthetic_dataset):
+        blind = synthetic_dataset.problem.without_truth()
+        a = EMExtEstimator(seed=42).fit(blind)
+        b = EMExtEstimator(seed=42).fit(blind)
+        np.testing.assert_array_equal(a.scores, b.scores)
+
+    def test_recovers_truth_on_informative_data(self):
+        """With many assertions the estimator nails both labels and θ."""
+        config = GeneratorConfig(n_sources=40, n_assertions=400)
+        dataset = generate_dataset(config, seed=3)
+        result = EMExtEstimator(seed=0).fit(dataset.problem.without_truth())
+        accuracy = (result.decisions == dataset.problem.truth).mean()
+        assert accuracy > 0.85
+        # z estimate lands near the true prior.
+        assert abs(result.parameters.z - dataset.problem.truth.mean()) < 0.1
+
+    def test_convergence_flag(self, synthetic_dataset):
+        result = EMExtEstimator(
+            EMConfig(max_iterations=500, tolerance=1e-5), seed=0
+        ).fit(synthetic_dataset.problem.without_truth())
+        assert result.converged
+
+    def test_max_iterations_respected(self, synthetic_dataset):
+        result = EMExtEstimator(EMConfig(max_iterations=2), seed=0).fit(
+            synthetic_dataset.problem.without_truth()
+        )
+        assert result.n_iterations <= 2
+
+    def test_restarts_never_worse_likelihood(self, synthetic_dataset):
+        blind = synthetic_dataset.problem.without_truth()
+        single = EMExtEstimator(EMConfig(n_restarts=1), seed=5).fit(blind)
+        multi = EMExtEstimator(EMConfig(n_restarts=4), seed=5).fit(blind)
+        assert multi.log_likelihood >= single.log_likelihood - 1e-6
+
+    def test_initial_parameters_used(self, synthetic_dataset):
+        blind = synthetic_dataset.problem.without_truth()
+        init = SourceParameters.from_scalars(
+            blind.n_sources, a=0.7, b=0.2, f=0.6, g=0.3, z=0.6
+        )
+        result = EMExtEstimator(seed=0, initial_parameters=init).fit(blind)
+        assert result.n_iterations >= 1
+
+    def test_initial_parameters_wrong_size(self, synthetic_dataset):
+        blind = synthetic_dataset.problem.without_truth()
+        init = SourceParameters.from_scalars(2, a=0.7, b=0.2, f=0.6, g=0.3, z=0.6)
+        with pytest.raises(ValidationError):
+            EMExtEstimator(seed=0, initial_parameters=init).fit(blind)
+
+    def test_monotone_log_likelihood(self, synthetic_dataset):
+        """EM's observed-data likelihood never decreases (up to float noise)."""
+        result = EMExtEstimator(
+            EMConfig(init_strategy="random"), seed=1
+        ).fit(synthetic_dataset.problem.without_truth())
+        lls = result.trace.log_likelihoods
+        diffs = np.diff(lls)
+        assert (diffs >= -1e-6).all()
+
+    def test_all_init_strategies_run(self, synthetic_dataset):
+        blind = synthetic_dataset.problem.without_truth()
+        for strategy in ("staged", "support", "random"):
+            result = EMExtEstimator(EMConfig(init_strategy=strategy), seed=0).fit(blind)
+            assert result.scores.size == blind.n_assertions
+
+    def test_empty_dependency_matches_independent_model(self):
+        """With D = 0 everywhere the f, g parameters never move."""
+        sc = np.array([[1, 0, 1], [0, 1, 1], [1, 1, 0]])
+        problem = SensingProblem.independent(sc)
+        result = EMExtEstimator(EMConfig(init_strategy="random"), seed=0).fit(problem)
+        # f and g have empty partitions: they keep their initial values,
+        # and the likelihood must not depend on them.
+        params = result.parameters
+        perturbed = SourceParameters(
+            a=params.a, b=params.b,
+            f=np.clip(params.f + 0.1, 0.01, 0.99),
+            g=np.clip(params.g + 0.1, 0.01, 0.99),
+            z=params.z,
+        )
+        assert data_log_likelihood(problem, perturbed) == pytest.approx(
+            data_log_likelihood(problem, params)
+        )
+
+    def test_run_em_ext_wrapper(self, synthetic_dataset):
+        result = run_em_ext(synthetic_dataset.problem.without_truth(), seed=0)
+        assert result.algorithm == "em-ext"
+
+
+class TestMStep:
+    def test_m_step_closed_form(self, small_params):
+        """Equations (10)-(14) against a hand computation."""
+        estimator = EMExtEstimator(seed=0)
+        sc = np.array([[1.0, 0.0], [1.0, 1.0], [0.0, 1.0]])
+        dep = np.array([[1.0, 0.0], [0.0, 0.0], [0.0, 1.0]])
+        posterior = np.array([0.8, 0.4])
+        new = estimator._m_step(sc, dep, posterior, small_params)
+        # Source 1 (no dependent cells): a = (Z0 + Z1) / (Z0 + Z1) = 1 → clamped.
+        assert new.a[1] == pytest.approx(1.0 - estimator.config.epsilon)
+        # Source 0: independent cells = column 1 only; claim 0 there.
+        # a_0 = 0 / Z1 = 0 → clamped to ε.
+        assert new.a[0] == pytest.approx(estimator.config.epsilon)
+        # Source 0: dependent cells = column 0, claimed: f_0 = Z0/Z0 = 1.
+        assert new.f[0] == pytest.approx(1.0 - estimator.config.epsilon)
+        # Source 2: dependent cell = column 1, claimed: g_2 = Y1/Y1 = 1.
+        assert new.g[2] == pytest.approx(1.0 - estimator.config.epsilon)
+        # z = mean posterior.
+        assert new.z == pytest.approx(0.6)
+
+    def test_empty_partition_keeps_previous(self, small_params):
+        estimator = EMExtEstimator(seed=0)
+        sc = np.zeros((3, 2))
+        dep = np.zeros((3, 2))
+        posterior = np.array([0.5, 0.5])
+        new = estimator._m_step(sc, dep, posterior, small_params)
+        np.testing.assert_allclose(new.f, small_params.f)
+        np.testing.assert_allclose(new.g, small_params.g)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=1000))
+def test_posterior_always_valid(seed):
+    dataset = generate_dataset(GeneratorConfig(n_sources=10, n_assertions=15), seed=seed)
+    result = EMExtEstimator(EMConfig(max_iterations=30), seed=seed).fit(
+        dataset.problem.without_truth()
+    )
+    assert np.isfinite(result.scores).all()
+    assert (result.scores >= 0).all() and (result.scores <= 1).all()

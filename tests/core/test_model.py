@@ -1,0 +1,143 @@
+"""Tests for repro.core.model (SourceParameters)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import ParameterTrace, SourceParameters
+from repro.utils.errors import ValidationError
+
+
+class TestConstruction:
+    def test_basic(self, small_params):
+        assert small_params.n_sources == 3
+        assert small_params.z == 0.6
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValidationError):
+            SourceParameters(
+                a=np.array([0.5]), b=np.array([0.5, 0.5]),
+                f=np.array([0.5]), g=np.array([0.5]), z=0.5,
+            )
+
+    def test_out_of_range_rate(self):
+        with pytest.raises(ValidationError):
+            SourceParameters(
+                a=np.array([1.5]), b=np.array([0.5]),
+                f=np.array([0.5]), g=np.array([0.5]), z=0.5,
+            )
+
+    def test_invalid_z(self):
+        with pytest.raises(ValidationError):
+            SourceParameters.from_scalars(2, a=0.5, b=0.5, f=0.5, g=0.5, z=1.5)
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(ValidationError):
+            SourceParameters(
+                a=np.zeros((2, 2)), b=np.zeros(2), f=np.zeros(2), g=np.zeros(2), z=0.5
+            )
+
+    def test_from_scalars(self):
+        params = SourceParameters.from_scalars(4, a=0.7, b=0.2, f=0.6, g=0.3, z=0.5)
+        assert params.n_sources == 4
+        np.testing.assert_allclose(params.a, 0.7)
+
+    def test_from_scalars_rejects_nonpositive_count(self):
+        with pytest.raises(ValidationError):
+            SourceParameters.from_scalars(0, a=0.5, b=0.5, f=0.5, g=0.5, z=0.5)
+
+
+class TestRandom:
+    def test_deterministic(self):
+        a = SourceParameters.random(5, seed=3)
+        b = SourceParameters.random(5, seed=3)
+        np.testing.assert_array_equal(a.a, b.a)
+
+    def test_informative_bias(self):
+        params = SourceParameters.random(200, seed=0, informative=True)
+        assert params.a.mean() > params.b.mean()
+        assert params.f.mean() > params.g.mean()
+
+    def test_uninformative_covers_range(self):
+        params = SourceParameters.random(500, seed=0, informative=False)
+        assert params.a.min() < 0.2 and params.a.max() > 0.8
+
+
+class TestClamp:
+    def test_pushes_extremes_inward(self):
+        params = SourceParameters(
+            a=np.array([0.0, 1.0]), b=np.array([0.5, 0.5]),
+            f=np.array([0.5, 0.5]), g=np.array([0.5, 0.5]), z=0.0,
+        ).clamp(1e-3)
+        assert params.a.min() == pytest.approx(1e-3)
+        assert params.a.max() == pytest.approx(1 - 1e-3)
+        assert params.z == pytest.approx(1e-3)
+
+    def test_invalid_epsilon(self, small_params):
+        with pytest.raises(ValidationError):
+            small_params.clamp(0.7)
+
+
+class TestOperations:
+    def test_restrict(self, small_params):
+        sub = small_params.restrict(np.array([0, 2]))
+        assert sub.n_sources == 2
+        assert sub.a[1] == small_params.a[2]
+
+    def test_max_difference_zero_for_self(self, small_params):
+        assert small_params.max_difference(small_params) == 0.0
+
+    def test_max_difference_detects_change(self, small_params):
+        other = SourceParameters(
+            a=small_params.a.copy(), b=small_params.b.copy(),
+            f=small_params.f.copy(), g=small_params.g.copy(), z=0.9,
+        )
+        assert small_params.max_difference(other) == pytest.approx(0.3)
+
+    def test_max_difference_shape_mismatch(self, small_params):
+        other = SourceParameters.from_scalars(2, a=0.5, b=0.5, f=0.5, g=0.5, z=0.5)
+        with pytest.raises(ValidationError):
+            small_params.max_difference(other)
+
+    def test_roundtrip_dict(self, small_params):
+        clone = SourceParameters.from_dict(small_params.to_dict())
+        assert clone.max_difference(small_params) == 0.0
+
+    def test_odds(self, small_params):
+        np.testing.assert_allclose(
+            small_params.independent_odds(), small_params.a / small_params.b
+        )
+        np.testing.assert_allclose(
+            small_params.dependent_odds(), small_params.f / small_params.g
+        )
+
+    def test_odds_with_zero_denominator(self):
+        params = SourceParameters(
+            a=np.array([0.5]), b=np.array([0.0]),
+            f=np.array([0.5]), g=np.array([0.0]), z=0.5,
+        )
+        assert np.isinf(params.independent_odds()[0])
+
+
+class TestParameterTrace:
+    def test_record(self):
+        trace = ParameterTrace()
+        trace.record(-10.0, 0.5)
+        trace.record(-9.0, 0.1)
+        assert trace.n_iterations == 2
+        assert trace.log_likelihoods == [-10.0, -9.0]
+        assert trace.parameter_deltas == [0.5, 0.1]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=20),
+    epsilon=st.floats(min_value=1e-9, max_value=0.49),
+)
+def test_clamp_always_in_range(n, epsilon):
+    params = SourceParameters.random(n, seed=0, informative=False).clamp(epsilon)
+    for name in ("a", "b", "f", "g"):
+        rates = getattr(params, name)
+        assert rates.min() >= epsilon - 1e-12
+        assert rates.max() <= 1 - epsilon + 1e-12

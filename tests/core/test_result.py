@@ -1,0 +1,80 @@
+"""Tests for result containers."""
+
+import numpy as np
+import pytest
+
+from repro.core import EstimationResult, FactFindingResult
+from repro.utils.errors import ValidationError
+
+
+class TestFactFindingResult:
+    def test_basic(self):
+        result = FactFindingResult(
+            algorithm="test", scores=np.array([0.9, 0.1]), decisions=np.array([1, 0])
+        )
+        assert result.n_assertions == 2
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            FactFindingResult(
+                algorithm="t", scores=np.array([0.9]), decisions=np.array([1, 0])
+            )
+
+    def test_non_binary_decisions(self):
+        with pytest.raises(ValidationError):
+            FactFindingResult(
+                algorithm="t", scores=np.array([0.9, 0.2]), decisions=np.array([1, 2])
+            )
+
+    def test_two_dimensional_scores(self):
+        with pytest.raises(ValidationError):
+            FactFindingResult(
+                algorithm="t", scores=np.zeros((2, 2)), decisions=np.zeros((2, 2))
+            )
+
+    def test_ranking_sorted_desc(self):
+        result = FactFindingResult(
+            algorithm="t",
+            scores=np.array([0.2, 0.9, 0.5]),
+            decisions=np.array([0, 1, 1]),
+        )
+        np.testing.assert_array_equal(result.ranking(), [1, 2, 0])
+
+    def test_ranking_stable_for_ties(self):
+        result = FactFindingResult(
+            algorithm="t",
+            scores=np.array([0.5, 0.5, 0.5]),
+            decisions=np.array([1, 1, 1]),
+        )
+        np.testing.assert_array_equal(result.ranking(), [0, 1, 2])
+
+    def test_top_k(self):
+        result = FactFindingResult(
+            algorithm="t",
+            scores=np.array([0.2, 0.9, 0.5]),
+            decisions=np.array([0, 1, 1]),
+        )
+        np.testing.assert_array_equal(result.top_k(2), [1, 2])
+        # k beyond m returns everything.
+        assert result.top_k(10).size == 3
+
+    def test_top_k_negative(self):
+        result = FactFindingResult(
+            algorithm="t", scores=np.array([0.5]), decisions=np.array([1])
+        )
+        with pytest.raises(ValidationError):
+            result.top_k(-1)
+
+
+class TestEstimationResult:
+    def test_posterior_alias(self):
+        result = EstimationResult(
+            algorithm="em-ext",
+            scores=np.array([0.7]),
+            decisions=np.array([1]),
+            log_likelihood=-10.0,
+            converged=True,
+            n_iterations=5,
+        )
+        np.testing.assert_array_equal(result.posterior, result.scores)
+        assert result.converged

@@ -1,0 +1,89 @@
+"""Tests for cascade analytics."""
+
+import pytest
+
+from repro.datasets import (
+    AssertionLabel,
+    Tweet,
+    extract_cascades,
+    simulate_dataset,
+    summarize_cascades,
+    virality_by_label,
+)
+from repro.utils.errors import DataError
+
+
+def _tweet(tweet_id, user, time, assertion=0, retweet_of=None):
+    return Tweet(
+        tweet_id=tweet_id, user=user, time=time, text="x",
+        assertion=assertion, retweet_of=retweet_of,
+    )
+
+
+@pytest.fixture
+def chain():
+    """0 <- 1 <- 2 (a depth-2 cascade) plus a singleton 3."""
+    return [
+        _tweet(0, 10, 1.0),
+        _tweet(1, 11, 2.0, retweet_of=0),
+        _tweet(2, 12, 3.0, retweet_of=1),
+        _tweet(3, 13, 4.0, assertion=1),
+    ]
+
+
+class TestExtractCascades:
+    def test_chain_structure(self, chain):
+        cascades = extract_cascades(chain)
+        assert len(cascades) == 2
+        big = cascades[0]
+        assert big.root_id == 0
+        assert big.size == 3
+        assert big.depth == 2
+        assert big.users == 3
+        assert cascades[1].size == 1
+
+    def test_orphan_retweet_becomes_root(self):
+        cascades = extract_cascades([_tweet(5, 1, 1.0, retweet_of=99)])
+        assert cascades[0].root_id == 5
+        assert cascades[0].depth == 0
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(DataError):
+            extract_cascades([_tweet(0, 1, 1.0), _tweet(0, 2, 2.0)])
+
+    def test_empty(self):
+        assert extract_cascades([]) == []
+
+
+class TestSummaries:
+    def test_summary_values(self, chain):
+        summary = summarize_cascades(chain)
+        assert summary.n_cascades == 2
+        assert summary.n_singletons == 1
+        assert summary.max_size == 3
+        assert summary.retweet_fraction == pytest.approx(0.5)
+
+    def test_empty_summary(self):
+        summary = summarize_cascades([])
+        assert summary.n_cascades == 0
+        assert summary.mean_size == 0.0
+
+
+class TestViralityByLabel:
+    def test_hand_computed(self, chain):
+        labels = [AssertionLabel.FALSE, AssertionLabel.TRUE]
+        virality = virality_by_label(chain, labels)
+        # Assertion 0 (false): 1 original, 2 retweets; assertion 1 (true):
+        # 1 original, 0 retweets.
+        assert virality[AssertionLabel.FALSE] == pytest.approx(2.0)
+        assert virality[AssertionLabel.TRUE] == 0.0
+
+    def test_unlabelled_assertion_rejected(self, chain):
+        with pytest.raises(DataError):
+            virality_by_label(chain, [AssertionLabel.TRUE])
+
+    def test_simulator_design_goal(self):
+        """In the simulated crawls, rumours out-cascade verified news."""
+        dataset = simulate_dataset("ukraine", scale=0.2, seed=5)
+        virality = virality_by_label(dataset.tweets, dataset.labels)
+        assert virality[AssertionLabel.FALSE] > virality[AssertionLabel.TRUE]

@@ -1,0 +1,66 @@
+"""Tests for the dataset catalogue and Table III summaries."""
+
+import pytest
+
+from repro.datasets import (
+    DATASET_ORDER,
+    DATASET_SPECS,
+    benchmark_scale,
+    format_table,
+    get_spec,
+    simulate_dataset,
+    summarize_catalog,
+    target_row,
+)
+from repro.utils.errors import ValidationError
+
+
+class TestCatalog:
+    def test_five_datasets_in_order(self):
+        assert DATASET_ORDER == [
+            "ukraine", "kirkuk", "superbug", "la_marathon", "paris_attack",
+        ]
+        assert set(DATASET_SPECS) == set(DATASET_ORDER)
+
+    def test_specs_match_table_iii_targets(self):
+        spec = get_spec("paris_attack")
+        assert spec.n_assertions == 23513
+        assert spec.n_sources == 38844
+        assert spec.n_claims == 41249
+        assert spec.n_original_claims == 38794
+        assert spec.evaluation_day == "Nov 14 2015"
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValidationError):
+            get_spec("mars_landing")
+
+    def test_benchmark_scale(self):
+        assert benchmark_scale("paris_attack", target_assertions=400) == pytest.approx(
+            400 / 23513
+        )
+        # Small datasets never get scaled above 1.
+        assert benchmark_scale("ukraine", target_assertions=10**6) == 1.0
+
+    def test_simulate_dataset_by_name(self):
+        dataset = simulate_dataset("la_marathon", scale=0.03, seed=0)
+        assert dataset.spec.name == "LA Marathon"
+
+
+class TestSummaries:
+    def test_target_rows(self):
+        row = target_row("ukraine")
+        assert row.n_assertions == 3703
+        assert row.location == "Ukraine"
+
+    def test_summarize_subset(self):
+        summaries = summarize_catalog(["kirkuk"], scale=0.04, seed=0)
+        assert len(summaries) == 1
+        assert summaries[0].name == "Kirkuk"
+
+    def test_format_table_layout(self):
+        summaries = summarize_catalog(["kirkuk"], scale=0.04, seed=0)
+        text = format_table(summaries)
+        lines = text.splitlines()
+        assert "Dataset" in lines[0]
+        assert lines[1].startswith("---")
+        assert "Kirkuk" in text

@@ -1,0 +1,106 @@
+"""Tests for the simulator's behavioural mechanisms (DESIGN.md §6).
+
+These verify the *design goals* of the substitution — the properties
+that make the simulated crawls a valid stand-in for the paper's data —
+rather than surface statistics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import AssertionLabel, simulate_dataset
+from repro.datasets.twitter_sim import TwitterSimulator, _EVAL_DAY_SHARE
+
+
+@pytest.fixture(scope="module")
+def crawl():
+    return simulate_dataset("superbug", scale=0.25, seed=17)
+
+
+class TestRetweetAcceptance:
+    def test_reliable_users_shun_rumours(self):
+        accept = TwitterSimulator._retweet_acceptance
+        assert accept(AssertionLabel.FALSE, True) < 0.1
+        assert accept(AssertionLabel.TRUE, True) > 0.8
+
+    def test_unreliable_users_amplify_rumours(self):
+        accept = TwitterSimulator._retweet_acceptance
+        assert accept(AssertionLabel.FALSE, False) > accept(
+            AssertionLabel.TRUE, False
+        )
+
+    def test_all_probabilities(self):
+        accept = TwitterSimulator._retweet_acceptance
+        for label in AssertionLabel:
+            for reliable in (True, False):
+                assert 0.0 <= accept(label, reliable) <= 1.0
+
+
+class TestRealizedStructure:
+    def test_rumour_retweeters_skew_unreliable(self, crawl):
+        """The realised false cascades flow through less-trustworthy users.
+
+        Measured indirectly: retweeters of false assertions originate
+        false content more often than retweeters of true assertions.
+        """
+        by_id = {t.tweet_id: t for t in crawl.tweets}
+        false_retweeters = set()
+        true_retweeters = set()
+        for tweet in crawl.tweets:
+            if not tweet.is_retweet:
+                continue
+            label = crawl.labels[tweet.assertion]
+            if label is AssertionLabel.FALSE:
+                false_retweeters.add(tweet.user)
+            elif label is AssertionLabel.TRUE:
+                true_retweeters.add(tweet.user)
+
+        def _false_origination(users):
+            originals = 0
+            false_originals = 0
+            for tweet in crawl.tweets:
+                if tweet.is_retweet or tweet.user not in users:
+                    continue
+                originals += 1
+                if crawl.labels[tweet.assertion] is AssertionLabel.FALSE:
+                    false_originals += 1
+            return false_originals / max(originals, 1)
+
+        assert _false_origination(false_retweeters) > _false_origination(
+            true_retweeters
+        )
+        del by_id
+
+    def test_eval_day_concentration(self, crawl):
+        """Roughly the configured share of assertions bursts on the
+        evaluation day."""
+        day_start = crawl.spec.evaluation_offset_days
+        eval_assertions = {
+            t.assertion
+            for t in crawl.tweets
+            if day_start <= t.time < day_start + 1.0 and not t.is_retweet
+        }
+        share = len(eval_assertions) / crawl.n_assertions
+        assert abs(share - _EVAL_DAY_SHARE) < 0.15
+
+    def test_popular_accounts_have_followers(self, crawl):
+        """Preferential attachment: retweeted authors have many followers."""
+        by_id = {t.tweet_id: t for t in crawl.tweets}
+        retweeted_authors = {
+            by_id[t.retweet_of].user for t in crawl.tweets if t.is_retweet
+        }
+        if not retweeted_authors:
+            pytest.skip("no retweets at this scale")
+        mean_followers = np.mean(
+            [len(crawl.graph.followers(a)) for a in retweeted_authors]
+        )
+        overall = np.mean(
+            [len(crawl.graph.followers(s)) for s in range(crawl.graph.n_sources)]
+        )
+        assert mean_followers > overall
+
+    def test_opinion_share_near_spec(self, crawl):
+        opinion_share = sum(
+            1 for label in crawl.labels if label is AssertionLabel.OPINION
+        ) / len(crawl.labels)
+        assert abs(opinion_share - crawl.spec.opinion_fraction) < 0.08

@@ -1,0 +1,47 @@
+"""Tests for tweet-text vocabularies."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import VOCABULARIES, get_vocabulary
+from repro.datasets.vocab import render_tweet_text
+from repro.utils.errors import ValidationError
+
+
+def test_all_five_themes_present():
+    assert set(VOCABULARIES) == {
+        "ukraine", "kirkuk", "superbug", "la_marathon", "paris_attack",
+    }
+
+
+def test_unknown_theme():
+    with pytest.raises(ValidationError):
+        get_vocabulary("moon_landing")
+
+
+def test_render_assertion_nonempty_and_themed():
+    rng = np.random.default_rng(0)
+    vocabulary = get_vocabulary("paris_attack")
+    sentence = vocabulary.render_assertion(rng)
+    assert len(sentence.split()) >= 5
+    assert sentence.startswith(tuple(vocabulary.subjects))
+
+
+def test_render_assertion_varies():
+    rng = np.random.default_rng(0)
+    vocabulary = get_vocabulary("ukraine")
+    sentences = {vocabulary.render_assertion(rng) for _ in range(20)}
+    assert len(sentences) > 5
+
+
+def test_retweet_text_has_rt_prefix():
+    rng = np.random.default_rng(0)
+    text = render_tweet_text("base sentence", rng, retweet_user=17)
+    assert text == "RT @user17: base sentence"
+
+
+def test_original_text_contains_canonical():
+    rng = np.random.default_rng(0)
+    for _ in range(10):
+        text = render_tweet_text("base sentence #tag", rng)
+        assert "base sentence #tag" in text

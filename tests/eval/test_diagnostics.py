@@ -1,0 +1,125 @@
+"""Tests for sampler/EM/calibration diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core import EMConfig, EMExtEstimator
+from repro.eval import (
+    autocorrelation,
+    calibration_curve,
+    effective_sample_size,
+    em_diagnostics,
+    expected_calibration_error,
+    gelman_rubin,
+)
+from repro.utils.errors import ValidationError
+
+
+class TestAutocorrelation:
+    def test_lag_zero_is_one(self, rng):
+        series = rng.random(100)
+        assert autocorrelation(series, 0) == 1.0
+
+    def test_iid_near_zero(self, rng):
+        series = rng.random(5000)
+        assert abs(autocorrelation(series, 1)) < 0.05
+
+    def test_persistent_series_high(self):
+        series = np.repeat([0.0, 1.0], 50)
+        assert autocorrelation(series, 1) > 0.9
+
+    def test_constant_series(self):
+        assert autocorrelation(np.ones(10), 1) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            autocorrelation(np.arange(3), 5)
+        with pytest.raises(ValidationError):
+            autocorrelation(np.arange(10), -1)
+
+
+class TestEffectiveSampleSize:
+    def test_iid_close_to_n(self, rng):
+        series = rng.random(2000)
+        assert effective_sample_size(series) > 1200
+
+    def test_correlated_much_smaller(self, rng):
+        noise = rng.normal(size=2000)
+        series = np.cumsum(noise) * 0.01 + noise * 0.001  # near random walk
+        assert effective_sample_size(series) < 200
+
+    def test_too_short(self):
+        with pytest.raises(ValidationError):
+            effective_sample_size(np.arange(3))
+
+
+class TestGelmanRubin:
+    def test_identical_chains_one(self, rng):
+        chain = rng.random(500)
+        assert gelman_rubin([chain, chain.copy()]) == pytest.approx(1.0, abs=0.01)
+
+    def test_disjoint_chains_large(self, rng):
+        a = rng.random(500)
+        b = rng.random(500) + 10.0
+        assert gelman_rubin([a, b]) > 2.0
+
+    def test_needs_two_chains(self, rng):
+        with pytest.raises(ValidationError):
+            gelman_rubin([rng.random(100)])
+
+
+class TestEMDiagnostics:
+    def test_healthy_run(self, synthetic_dataset):
+        result = EMExtEstimator(EMConfig(max_iterations=300), seed=0).fit(
+            synthetic_dataset.problem.without_truth()
+        )
+        report = em_diagnostics(result)
+        assert report.converged
+        assert report.log_likelihood_increased
+        assert report.healthy
+        assert report.posterior_entropy >= 0.0
+
+    def test_starved_run_flags_nonconvergence(self, synthetic_dataset):
+        result = EMExtEstimator(EMConfig(max_iterations=1), seed=0).fit(
+            synthetic_dataset.problem.without_truth()
+        )
+        report = em_diagnostics(result)
+        assert not report.converged
+
+    def test_requires_trace(self):
+        from repro.core import EstimationResult
+
+        result = EstimationResult(
+            algorithm="x", scores=np.array([0.5]), decisions=np.array([1])
+        )
+        with pytest.raises(ValidationError):
+            em_diagnostics(result)
+
+
+class TestCalibration:
+    def test_perfectly_calibrated(self, rng):
+        scores = rng.random(20_000)
+        truth = (rng.random(20_000) < scores).astype(int)
+        assert expected_calibration_error(scores, truth) < 0.03
+
+    def test_overconfident_detected(self):
+        scores = np.full(1000, 0.95)
+        truth = np.zeros(1000, dtype=int)
+        truth[:500] = 1  # actual accuracy 0.5
+        assert expected_calibration_error(scores, truth) > 0.4
+
+    def test_curve_bins(self):
+        scores = np.array([0.05, 0.15, 0.95])
+        truth = np.array([0, 0, 1])
+        bins = calibration_curve(scores, truth, n_bins=10)
+        assert len(bins) == 3
+        assert bins[-1].empirical_accuracy == 1.0
+        assert sum(b.count for b in bins) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            calibration_curve(np.array([1.5]), np.array([1]))
+        with pytest.raises(ValidationError):
+            calibration_curve(np.array([0.5]), np.array([1, 0]))
+        with pytest.raises(ValidationError):
+            calibration_curve(np.array([0.5]), np.array([1]), n_bins=0)

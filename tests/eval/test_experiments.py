@@ -1,0 +1,102 @@
+"""Tests for the per-figure experiment definitions (smoke-scale)."""
+
+import numpy as np
+import pytest
+
+from repro.bounds import GibbsConfig
+from repro.eval import (
+    TABLE1_EXPECTED_BOUND,
+    figure11_matrix,
+    figure3_bound_vs_sources,
+    figure6_bound_timing,
+    table1_walkthrough,
+)
+from repro.eval.experiments import (
+    EmpiricalCell,
+    bound_comparison_sweep,
+    bound_trials,
+    estimator_trials,
+    figure11_empirical,
+    full_trials,
+)
+from repro.synthetic import GeneratorConfig
+
+
+class TestTable1:
+    def test_exact_reproduction(self):
+        result = table1_walkthrough()
+        assert result.total == pytest.approx(TABLE1_EXPECTED_BOUND, abs=1e-8)
+        assert result.false_positive + result.false_negative == pytest.approx(
+            result.total
+        )
+
+
+class TestTrialCounts:
+    def test_defaults_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL_TRIALS", raising=False)
+        assert not full_trials()
+        assert bound_trials() == 4
+        assert estimator_trials() == 6
+
+    def test_env_enables_paper_counts(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL_TRIALS", "1")
+        assert full_trials()
+        assert bound_trials() == 20
+        assert estimator_trials() == 300
+
+
+class TestBoundComparison:
+    def test_sweep_structure(self):
+        rows = bound_comparison_sweep(
+            values=[5, 10],
+            config_factory=lambda n: GeneratorConfig(
+                n_sources=int(n), n_trees=(3, 3), n_assertions=20
+            ),
+            n_trials=2,
+            seed=0,
+            gibbs_config=GibbsConfig(min_sweeps=300, max_sweeps=900),
+        )
+        assert [r.value for r in rows] == [5.0, 10.0]
+        for row in rows:
+            assert 0 <= row.exact_total <= 0.5
+            assert row.absolute_difference < 0.05
+
+    def test_figure3_smoke(self):
+        rows = figure3_bound_vs_sources(
+            n_trials=1, gibbs_config=GibbsConfig(min_sweeps=300, max_sweeps=600)
+        )
+        assert len(rows) == 4  # CI grid stops at n = 20
+        assert rows[0].value == 5.0
+
+
+class TestTiming:
+    def test_figure6_smoke(self):
+        rows = figure6_bound_timing(n_values=(5, 12), seed=0)
+        assert rows[0].exact_seconds is not None
+        assert rows[1].gibbs_seconds > 0
+
+    def test_exact_skipped_beyond_cutoff(self):
+        rows = figure6_bound_timing(n_values=(5, 24), exact_cutoff=20, seed=0)
+        assert rows[1].exact_seconds is None
+
+
+class TestFigure11:
+    def test_smoke_single_dataset(self):
+        cells = figure11_empirical(
+            datasets=("la_marathon",),
+            algorithms=("voting", "em-ext"),
+            n_seeds=1,
+            target_assertions=150,
+            seed=0,
+        )
+        assert len(cells) == 2
+        for cell in cells:
+            assert 0.0 <= cell.true_ratio <= 1.0
+
+    def test_matrix_pivot(self):
+        cells = [
+            EmpiricalCell(dataset="d1", algorithm="a", true_ratio=0.5),
+            EmpiricalCell(dataset="d2", algorithm="a", true_ratio=0.7),
+        ]
+        matrix = figure11_matrix(cells)
+        assert matrix == {"a": {"d1": 0.5, "d2": 0.7}}

@@ -1,0 +1,98 @@
+"""Tests for CSV export of experiment results."""
+
+import csv
+
+import pytest
+
+from repro.eval import (
+    bound_comparison_to_csv,
+    empirical_to_csv,
+    sweep_to_csv,
+    timing_to_csv,
+)
+from repro.eval.experiments import BoundComparisonRow, EmpiricalCell, TimingRow
+from repro.eval.harness import AlgorithmSeries, SimulationResult, SweepResult
+from repro.eval.metrics import ClassificationMetrics
+from repro.synthetic import GeneratorConfig
+from repro.utils.errors import ValidationError
+
+
+def _read(path):
+    with open(path, newline="") as handle:
+        return list(csv.reader(handle))
+
+
+def _sim_result(accuracies):
+    series = {}
+    for name, accuracy in accuracies.items():
+        algorithm_series = AlgorithmSeries()
+        algorithm_series.record(
+            ClassificationMetrics(
+                accuracy=accuracy, false_positive_rate=0.1,
+                false_negative_rate=0.2, n_assertions=10, n_true=5, n_false=5,
+            )
+        )
+        series[name] = algorithm_series
+    return SimulationResult(config=GeneratorConfig(), n_trials=1, series=series)
+
+
+def test_bound_comparison_export(tmp_path):
+    rows = [
+        BoundComparisonRow(
+            value=5, exact_total=0.1, exact_false_positive=0.04,
+            exact_false_negative=0.06, gibbs_total=0.11,
+            gibbs_false_positive=0.05, gibbs_false_negative=0.06,
+        )
+    ]
+    path = tmp_path / "fig3.csv"
+    assert bound_comparison_to_csv(rows, path, x_label="n") == 1
+    content = _read(path)
+    assert content[0][0] == "n"
+    assert float(content[1][1]) == 0.1
+    assert float(content[1][3]) == pytest.approx(0.01)
+
+
+def test_timing_export_handles_missing_exact(tmp_path):
+    rows = [
+        TimingRow(n_sources=5, exact_seconds=0.5, gibbs_seconds=0.1),
+        TimingRow(n_sources=30, exact_seconds=None, gibbs_seconds=0.2),
+    ]
+    path = tmp_path / "fig6.csv"
+    assert timing_to_csv(rows, path) == 2
+    content = _read(path)
+    assert content[2][1] == ""  # missing exact stays empty, not "None"
+
+
+def test_sweep_export_long_format(tmp_path):
+    sweep = SweepResult(
+        parameter="n",
+        values=[10.0, 20.0],
+        points=[
+            _sim_result({"em-ext": 0.8, "em": 0.7}),
+            _sim_result({"em-ext": 0.9, "em": 0.75}),
+        ],
+    )
+    path = tmp_path / "fig7.csv"
+    count = sweep_to_csv(sweep, path)
+    assert count == 4  # 2 values x 2 algorithms
+    content = _read(path)
+    assert content[0][:2] == ["n", "algorithm"]
+    values = {(row[0], row[1]): float(row[2]) for row in content[1:]}
+    assert values[("20.0", "em-ext")] == 0.9
+
+
+def test_sweep_export_requires_algorithms(tmp_path):
+    sweep = SweepResult(parameter="n", values=[], points=[])
+    with pytest.raises(ValidationError):
+        sweep_to_csv(sweep, tmp_path / "x.csv")
+
+
+def test_empirical_export(tmp_path):
+    cells = [
+        EmpiricalCell(dataset="ukraine", algorithm="em-ext", true_ratio=0.5),
+        EmpiricalCell(dataset="kirkuk", algorithm="em-ext", true_ratio=0.6),
+    ]
+    path = tmp_path / "fig11.csv"
+    assert empirical_to_csv(cells, path) == 2
+    content = _read(path)
+    assert content[1] == ["ukraine", "em-ext", "0.5"]

@@ -1,0 +1,90 @@
+"""Tests for the repeated-trial harness."""
+
+import numpy as np
+import pytest
+
+from repro.eval import OPTIMAL_KEY, run_simulation, run_sweep
+from repro.synthetic import GeneratorConfig
+from repro.utils.errors import ValidationError
+
+
+class TestRunSimulation:
+    def test_basic_structure(self):
+        result = run_simulation(
+            GeneratorConfig(), algorithms=("em-ext",), n_trials=2, seed=0
+        )
+        assert result.n_trials == 2
+        assert set(result.series) == {"em-ext", OPTIMAL_KEY}
+        assert len(result.series["em-ext"].accuracy) == 2
+
+    def test_without_optimal(self):
+        result = run_simulation(
+            GeneratorConfig(), algorithms=("voting",), n_trials=1,
+            include_optimal=False, seed=0,
+        )
+        assert OPTIMAL_KEY not in result.series
+
+    def test_invalid_trials(self):
+        with pytest.raises(ValidationError):
+            run_simulation(GeneratorConfig(), n_trials=0)
+
+    def test_deterministic(self):
+        a = run_simulation(GeneratorConfig(), algorithms=("em-ext",), n_trials=2, seed=3,
+                           include_optimal=False)
+        b = run_simulation(GeneratorConfig(), algorithms=("em-ext",), n_trials=2, seed=3,
+                           include_optimal=False)
+        assert a.series["em-ext"].accuracy == b.series["em-ext"].accuracy
+
+    def test_optimal_dominates_estimators_on_average(self):
+        result = run_simulation(
+            GeneratorConfig(), algorithms=("em-ext",), n_trials=4, seed=1
+        )
+        assert result.mean_accuracy(OPTIMAL_KEY) >= result.mean_accuracy("em-ext") - 0.02
+
+    def test_summary_structure(self):
+        result = run_simulation(
+            GeneratorConfig(), algorithms=("voting",), n_trials=1,
+            include_optimal=False, seed=0,
+        )
+        summary = result.summary()
+        assert set(summary["voting"]) == {
+            "accuracy", "false_positive_rate", "false_negative_rate",
+        }
+
+
+class TestAlgorithmSeries:
+    def test_mean_and_std(self):
+        from repro.eval import AlgorithmSeries
+        from repro.eval.metrics import ClassificationMetrics
+
+        series = AlgorithmSeries()
+        for accuracy in (0.5, 0.7):
+            series.record(
+                ClassificationMetrics(
+                    accuracy=accuracy, false_positive_rate=0.1,
+                    false_negative_rate=0.2, n_assertions=10, n_true=5, n_false=5,
+                )
+            )
+        assert series.mean() == pytest.approx(0.6)
+        assert series.std() == pytest.approx(0.1)
+
+    def test_empty_series_nan(self):
+        from repro.eval import AlgorithmSeries
+
+        assert np.isnan(AlgorithmSeries().mean())
+
+
+class TestRunSweep:
+    def test_curves(self):
+        sweep = run_sweep(
+            "n_sources",
+            [10, 20],
+            lambda n: GeneratorConfig(n_sources=int(n), n_trees=(5, 5)),
+            algorithms=("voting",),
+            n_trials=1,
+            include_optimal=False,
+            seed=0,
+        )
+        assert sweep.values == [10.0, 20.0]
+        assert len(sweep.curve("voting")) == 2
+        assert sweep.algorithms() == ["voting"]

@@ -1,0 +1,90 @@
+"""Tests for evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core import FactFindingResult
+from repro.eval import brier_score, classification_metrics, precision_at_k, score_result
+from repro.utils.errors import ValidationError
+
+
+class TestClassificationMetrics:
+    def test_perfect(self):
+        metrics = classification_metrics(np.array([1, 0, 1]), np.array([1, 0, 1]))
+        assert metrics.accuracy == 1.0
+        assert metrics.false_positive_rate == 0.0
+        assert metrics.false_negative_rate == 0.0
+        assert metrics.error_rate == 0.0
+
+    def test_hand_computed(self):
+        decisions = np.array([1, 1, 0, 0, 1])
+        truth = np.array([1, 0, 1, 0, 0])
+        metrics = classification_metrics(decisions, truth)
+        assert metrics.accuracy == pytest.approx(2 / 5)
+        # Of 3 false assertions, 2 were judged true.
+        assert metrics.false_positive_rate == pytest.approx(2 / 3)
+        # Of 2 true assertions, 1 was judged false.
+        assert metrics.false_negative_rate == pytest.approx(1 / 2)
+        assert metrics.n_true == 2
+        assert metrics.n_false == 3
+
+    def test_all_true_truth(self):
+        metrics = classification_metrics(np.array([1, 0]), np.array([1, 1]))
+        assert metrics.false_positive_rate == 0.0  # no false assertions exist
+        assert metrics.false_negative_rate == 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            classification_metrics(np.array([]), np.array([]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            classification_metrics(np.array([1]), np.array([1, 0]))
+
+
+class TestScoreResult:
+    def test_wraps_decisions(self):
+        result = FactFindingResult(
+            algorithm="t", scores=np.array([0.9, 0.1]), decisions=np.array([1, 0])
+        )
+        metrics = score_result(result, np.array([1, 1]))
+        assert metrics.accuracy == 0.5
+
+
+class TestPrecisionAtK:
+    def test_basic(self):
+        result = FactFindingResult(
+            algorithm="t",
+            scores=np.array([0.9, 0.8, 0.1]),
+            decisions=np.array([1, 1, 0]),
+        )
+        truth = np.array([1, 0, 1])
+        assert precision_at_k(result, truth, 1) == 1.0
+        assert precision_at_k(result, truth, 2) == 0.5
+
+    def test_invalid_k(self):
+        result = FactFindingResult(
+            algorithm="t", scores=np.array([0.5]), decisions=np.array([1])
+        )
+        with pytest.raises(ValidationError):
+            precision_at_k(result, np.array([1]), 0)
+
+
+class TestBrierScore:
+    def test_perfect_posterior(self):
+        result = FactFindingResult(
+            algorithm="t", scores=np.array([1.0, 0.0]), decisions=np.array([1, 0])
+        )
+        assert brier_score(result, np.array([1, 0])) == 0.0
+
+    def test_uninformative_posterior(self):
+        result = FactFindingResult(
+            algorithm="t", scores=np.array([0.5, 0.5]), decisions=np.array([1, 1])
+        )
+        assert brier_score(result, np.array([1, 0])) == pytest.approx(0.25)
+
+    def test_unnormalised_scores_rescaled(self):
+        result = FactFindingResult(
+            algorithm="t", scores=np.array([10.0, 0.0]), decisions=np.array([1, 0])
+        )
+        assert brier_score(result, np.array([1, 0])) == 0.0

@@ -1,0 +1,70 @@
+"""Tests for text report rendering."""
+
+from repro.eval import (
+    format_bound_comparison,
+    format_empirical,
+    format_sweep,
+    format_timing,
+)
+from repro.eval.experiments import BoundComparisonRow, EmpiricalCell, TimingRow
+from repro.eval.harness import AlgorithmSeries, SimulationResult, SweepResult
+from repro.eval.metrics import ClassificationMetrics
+from repro.synthetic import GeneratorConfig
+
+
+def _sim_result(accuracy_by_algorithm):
+    series = {}
+    for name, accuracy in accuracy_by_algorithm.items():
+        s = AlgorithmSeries()
+        s.record(
+            ClassificationMetrics(
+                accuracy=accuracy, false_positive_rate=0.1,
+                false_negative_rate=0.1, n_assertions=10, n_true=5, n_false=5,
+            )
+        )
+        series[name] = s
+    return SimulationResult(config=GeneratorConfig(), n_trials=1, series=series)
+
+
+def test_format_bound_comparison():
+    rows = [
+        BoundComparisonRow(
+            value=5, exact_total=0.1, exact_false_positive=0.05,
+            exact_false_negative=0.05, gibbs_total=0.11,
+            gibbs_false_positive=0.05, gibbs_false_negative=0.06,
+        )
+    ]
+    text = format_bound_comparison(rows, x_label="n")
+    assert "n" in text.splitlines()[0]
+    assert "0.1000" in text
+    assert "0.0100" in text  # |diff|
+
+
+def test_format_timing():
+    text = format_timing(
+        [TimingRow(n_sources=5, exact_seconds=0.5, gibbs_seconds=0.1),
+         TimingRow(n_sources=30, exact_seconds=None, gibbs_seconds=0.2)]
+    )
+    assert "0.500" in text
+    assert "-" in text
+
+
+def test_format_sweep():
+    sweep = SweepResult(
+        parameter="n",
+        values=[10.0, 20.0],
+        points=[_sim_result({"em-ext": 0.8}), _sim_result({"em-ext": 0.9})],
+    )
+    text = format_sweep(sweep)
+    assert "em-ext" in text
+    assert "0.9000" in text
+
+
+def test_format_empirical():
+    cells = [
+        EmpiricalCell(dataset="ukraine", algorithm="voting", true_ratio=0.4),
+        EmpiricalCell(dataset="ukraine", algorithm="em-ext", true_ratio=0.5),
+    ]
+    text = format_empirical(cells)
+    assert "ukraine" in text
+    assert "0.500" in text

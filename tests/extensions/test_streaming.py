@@ -1,0 +1,96 @@
+"""Tests for the streaming dependency-aware estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core import SourceParameters
+from repro.extensions import StreamingEMExt
+from repro.synthetic import GeneratorConfig, SyntheticGenerator
+from repro.utils.errors import ValidationError
+
+
+@pytest.fixture
+def batch_stream():
+    generator = SyntheticGenerator(GeneratorConfig(), seed=21)
+    return generator.generate_many(8)
+
+
+class TestConstruction:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_sources": 0},
+            {"n_sources": 5, "decay": 0.0},
+            {"n_sources": 5, "decay": 1.5},
+            {"n_sources": 5, "inner_iterations": 0},
+            {"n_sources": 5, "epsilon": 0.7},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValidationError):
+            StreamingEMExt(**kwargs)
+
+    def test_initial_parameters_size_checked(self):
+        init = SourceParameters.from_scalars(3, a=0.6, b=0.3, f=0.5, g=0.4, z=0.5)
+        with pytest.raises(ValidationError):
+            StreamingEMExt(n_sources=5, initial_parameters=init)
+
+
+class TestPartialFit:
+    def test_batch_result_shape(self, batch_stream):
+        stream = StreamingEMExt(n_sources=20)
+        result = stream.partial_fit(batch_stream[0].problem.without_truth())
+        assert result.algorithm == "streaming-em-ext"
+        assert result.scores.shape == (50,)
+        assert stream.n_batches == 1
+
+    def test_source_count_mismatch(self, batch_stream):
+        stream = StreamingEMExt(n_sources=7)
+        with pytest.raises(ValidationError):
+            stream.partial_fit(batch_stream[0].problem.without_truth())
+
+    def test_parameters_move_toward_truth(self, batch_stream):
+        """After several batches the learned rates approach the oracle."""
+        from repro.synthetic import empirical_parameters
+
+        stream = StreamingEMExt(n_sources=20, decay=1.0)
+        for dataset in batch_stream:
+            stream.partial_fit(dataset.problem.without_truth())
+        oracle = empirical_parameters(batch_stream[-1].problem)
+        # Pooled comparison: the learned independent rates separate in
+        # the same direction as the oracle's (a above b).
+        assert stream.parameters.a.mean() > stream.parameters.b.mean()
+        assert oracle.a.mean() > oracle.b.mean()
+
+    def test_accuracy_improves_with_history(self, batch_stream):
+        """Later batches benefit from accumulated source statistics."""
+        stream = StreamingEMExt(n_sources=20, decay=1.0)
+        accuracies = []
+        for dataset in batch_stream:
+            result = stream.partial_fit(dataset.problem.without_truth())
+            accuracies.append(
+                float((result.decisions == dataset.problem.truth).mean())
+            )
+        early = np.mean(accuracies[:2])
+        late = np.mean(accuracies[-3:])
+        assert late >= early - 0.05
+
+    def test_decay_forgets_history(self, batch_stream):
+        """With decay << 1, old batches stop influencing the parameters."""
+        fast_forget = StreamingEMExt(n_sources=20, decay=0.1)
+        remember = StreamingEMExt(n_sources=20, decay=1.0)
+        for dataset in batch_stream[:4]:
+            blind = dataset.problem.without_truth()
+            fast_forget.partial_fit(blind)
+            remember.partial_fit(blind)
+        # Same final batch, different histories → different parameters.
+        difference = fast_forget.parameters.max_difference(remember.parameters)
+        assert difference > 0.005
+
+    def test_deterministic(self, batch_stream):
+        a = StreamingEMExt(n_sources=20)
+        b = StreamingEMExt(n_sources=20)
+        blind = batch_stream[0].problem.without_truth()
+        np.testing.assert_array_equal(
+            a.partial_fit(blind).scores, b.partial_fit(blind).scores
+        )

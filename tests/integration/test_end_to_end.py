@@ -1,0 +1,120 @@
+"""Integration tests: full flows across packages."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    EMExtEstimator,
+    EMIndependent,
+    EMSocial,
+    GeneratorConfig,
+    exact_bound,
+    generate_dataset,
+    gibbs_bound,
+)
+from repro.baselines import EMPIRICAL_ALGORITHMS, make_fact_finder
+from repro.bounds import GibbsConfig
+from repro.core import EMConfig
+from repro.datasets import simulate_dataset
+from repro.pipeline import ApolloPipeline, SimulatedGrader, grade_top_k
+from repro.synthetic import empirical_parameters
+
+
+class TestSyntheticPipeline:
+    """Generate → estimate → score, with bound as the ceiling."""
+
+    def test_estimators_bounded_by_optimal(self):
+        accuracies = {"em-ext": [], "em": [], "em-social": []}
+        ceilings = []
+        for seed in range(4):
+            dataset = generate_dataset(GeneratorConfig(), seed=seed)
+            problem = dataset.problem
+            params = empirical_parameters(problem).clamp(1e-4)
+            bound = exact_bound(problem.dependency.values, params)
+            ceilings.append(1 - bound.total)
+            blind = problem.without_truth()
+            for estimator in (
+                EMExtEstimator(seed=0), EMIndependent(seed=0), EMSocial(seed=0),
+            ):
+                result = estimator.fit(blind)
+                accuracies[estimator.algorithm_name].append(
+                    float((result.decisions == problem.truth).mean())
+                )
+        ceiling = float(np.mean(ceilings))
+        for name, values in accuracies.items():
+            assert float(np.mean(values)) <= ceiling + 0.02, name
+
+    def test_em_ext_beats_em_with_strong_dependencies(self):
+        """With few trees and uninformative dependent claims, modelling
+        dependency must beat ignoring it."""
+        config = GeneratorConfig.estimator_defaults(
+            n_trees=(5, 5)
+        ).with_dependent_odds(1.0)
+        ext_accuracy = []
+        em_accuracy = []
+        for seed in range(5):
+            dataset = generate_dataset(config, seed=seed)
+            blind = dataset.problem.without_truth()
+            ext = EMExtEstimator(seed=0).fit(blind)
+            em = EMIndependent(seed=0).fit(blind)
+            ext_accuracy.append(float((ext.decisions == dataset.problem.truth).mean()))
+            em_accuracy.append(float((em.decisions == dataset.problem.truth).mean()))
+        assert np.mean(ext_accuracy) > np.mean(em_accuracy)
+
+    def test_gibbs_matches_exact_on_problem(self):
+        dataset = generate_dataset(GeneratorConfig(), seed=11)
+        params = empirical_parameters(dataset.problem).clamp(1e-4)
+        dependency = dataset.problem.dependency.values
+        exact = exact_bound(dependency, params)
+        approx = gibbs_bound(
+            dependency, params,
+            config=GibbsConfig(min_sweeps=1500, max_sweeps=4000), seed=0,
+        )
+        assert abs(exact.total - approx.total) < 0.02
+
+
+class TestEmpiricalPipeline:
+    """Simulate platform → Apollo → grade (the Section V-C flow)."""
+
+    def test_text_level_flow(self):
+        dataset = simulate_dataset("superbug", scale=0.05, seed=13)
+        tweets = dataset.evaluation_tweets()
+        report = ApolloPipeline("em-ext", seed=0).run(tweets)
+        assert report.built.problem.n_assertions > 10
+        assert report.built.problem.dependent_claim_fraction() > 0.0
+        top = report.top(10)
+        assert len(top) == 10
+
+    def test_matrix_level_grading_flow(self):
+        dataset = simulate_dataset("ukraine", scale=0.15, seed=3)
+        evaluation = dataset.evaluation_slice()
+        blind = evaluation.problem.without_truth()
+        results = {}
+        for name in EMPIRICAL_ALGORITHMS:
+            kwargs = {"seed": 0} if name in ("em", "em-social", "em-ext") else {}
+            results[name] = make_fact_finder(name, **kwargs).fit(blind)
+        grader = SimulatedGrader(evaluation.labels, seed=0)
+        reports = grade_top_k(results, grader, k=50, seed=0)
+        assert set(reports) == set(EMPIRICAL_ALGORITHMS)
+        for report in reports.values():
+            assert 0.0 <= report.true_ratio <= 1.0
+            assert report.n_graded == 50
+
+    def test_em_family_beats_voting_on_rumor_heavy_data(self):
+        """Cascaded rumours fool raw counting more than the EM family."""
+        ratios = {"voting": [], "em-ext": []}
+        for seed in range(3):
+            dataset = simulate_dataset("kirkuk", scale=0.25, seed=seed)
+            evaluation = dataset.evaluation_slice()
+            blind = evaluation.problem.without_truth()
+            results = {
+                "voting": make_fact_finder("voting").fit(blind),
+                "em-ext": make_fact_finder(
+                    "em-ext", seed=0, config=EMConfig(smoothing=1.0)
+                ).fit(blind),
+            }
+            grader = SimulatedGrader(evaluation.labels, seed=seed)
+            reports = grade_top_k(results, grader, k=100, seed=seed)
+            for name in ratios:
+                ratios[name].append(reports[name].true_ratio)
+        assert np.mean(ratios["em-ext"]) > np.mean(ratios["voting"])

@@ -1,0 +1,96 @@
+"""Tests for follow-graph generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network import level_two_forest, preferential_attachment
+from repro.utils.errors import ValidationError
+
+
+class TestLevelTwoForest:
+    def test_structure(self):
+        forest = level_two_forest(10, 3, seed=0)
+        assert forest.n_trees == 3
+        assert forest.roots == [0, 1, 2]
+        assert len(forest.parent) == 7
+
+    def test_roots_follow_nobody(self):
+        forest = level_two_forest(10, 3, seed=0)
+        for root in forest.roots:
+            assert forest.graph.followees(root) == set()
+
+    def test_leaves_follow_exactly_one_root(self):
+        forest = level_two_forest(12, 4, seed=1)
+        for leaf, parent in forest.parent.items():
+            assert forest.graph.followees(leaf) == {parent}
+            assert parent in forest.roots
+
+    def test_all_sources_independent_when_trees_equal_sources(self):
+        forest = level_two_forest(5, 5, seed=0)
+        assert forest.graph.n_edges == 0
+
+    def test_single_tree(self):
+        forest = level_two_forest(6, 1, seed=0)
+        assert all(parent == 0 for parent in forest.parent.values())
+
+    def test_leaves_of(self):
+        forest = level_two_forest(8, 2, seed=3)
+        all_leaves = sorted(forest.leaves_of(0) + forest.leaves_of(1))
+        assert all_leaves == list(range(2, 8))
+
+    def test_leaves_of_non_root(self):
+        forest = level_two_forest(8, 2, seed=3)
+        with pytest.raises(ValidationError):
+            forest.leaves_of(7)
+
+    def test_too_many_trees(self):
+        with pytest.raises(ValidationError):
+            level_two_forest(3, 5)
+
+    def test_deterministic(self):
+        a = level_two_forest(10, 3, seed=9)
+        b = level_two_forest(10, 3, seed=9)
+        assert a.parent == b.parent
+
+
+class TestPreferentialAttachment:
+    def test_connectivity(self):
+        graph = preferential_attachment(50, links_per_source=2, seed=0)
+        # Every non-initial source follows at least one account.
+        for source in range(1, 50):
+            assert len(graph.followees(source)) >= 1
+
+    def test_heavy_tail(self):
+        graph = preferential_attachment(300, links_per_source=2, seed=0)
+        follower_counts = sorted(
+            (len(graph.followers(s)) for s in range(300)), reverse=True
+        )
+        # The most-followed account dwarfs the median.
+        assert follower_counts[0] >= 10 * max(follower_counts[150], 1)
+
+    def test_no_self_follow(self):
+        graph = preferential_attachment(30, seed=1)
+        for follower, followee in graph.edges():
+            assert follower != followee
+
+    def test_deterministic(self):
+        a = preferential_attachment(20, seed=2)
+        b = preferential_attachment(20, seed=2)
+        assert list(a.edges()) == list(b.edges())
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=30),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_forest_covers_every_source_once(n, seed):
+    """Property: every source is exactly one of root or leaf."""
+    n_trees = max(1, n // 3)
+    forest = level_two_forest(n, n_trees, seed=seed)
+    roots = set(forest.roots)
+    leaves = set(forest.parent)
+    assert roots | leaves == set(range(n))
+    assert roots & leaves == set()

@@ -1,0 +1,67 @@
+"""Tests for the follow graph."""
+
+import pytest
+
+from repro.network import FollowGraph
+from repro.utils.errors import ValidationError
+
+
+class TestFollowGraph:
+    def test_empty(self):
+        graph = FollowGraph(3)
+        assert graph.n_edges == 0
+        assert graph.followees(0) == set()
+
+    def test_add_and_query(self):
+        graph = FollowGraph(3)
+        graph.add_follow(0, 1)
+        assert graph.follows(0, 1)
+        assert not graph.follows(1, 0)
+        assert graph.followees(0) == {1}
+        assert graph.followers(1) == {0}
+
+    def test_self_follow_rejected(self):
+        graph = FollowGraph(2)
+        with pytest.raises(ValidationError):
+            graph.add_follow(1, 1)
+
+    def test_out_of_range(self):
+        graph = FollowGraph(2)
+        with pytest.raises(ValidationError):
+            graph.add_follow(0, 5)
+
+    def test_from_edges(self):
+        graph = FollowGraph.from_edges(3, [(0, 1), (1, 2)])
+        assert graph.n_edges == 2
+
+    def test_direct_ancestors(self):
+        graph = FollowGraph.from_edges(3, [(0, 1), (1, 2)])
+        assert graph.ancestors(0) == {1}
+
+    def test_transitive_ancestors(self):
+        graph = FollowGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        assert graph.ancestors(0, transitive=True) == {1, 2, 3}
+
+    def test_transitive_handles_cycles(self):
+        graph = FollowGraph.from_edges(3, [(0, 1), (1, 2), (2, 0)])
+        assert graph.ancestors(0, transitive=True) == {1, 2}
+
+    def test_edges_iteration_deterministic(self):
+        graph = FollowGraph.from_edges(3, [(2, 0), (0, 2), (0, 1)])
+        assert list(graph.edges()) == [(0, 1), (0, 2), (2, 0)]
+
+    def test_duplicate_edges_idempotent(self):
+        graph = FollowGraph(2)
+        graph.add_follow(0, 1)
+        graph.add_follow(0, 1)
+        assert graph.n_edges == 1
+
+    def test_out_degree_histogram(self):
+        graph = FollowGraph.from_edges(3, [(0, 1), (0, 2)])
+        assert graph.out_degree_histogram() == {0: 2, 2: 1}
+
+    def test_to_networkx(self):
+        graph = FollowGraph.from_edges(3, [(0, 1)])
+        nx_graph = graph.to_networkx()
+        assert nx_graph.number_of_nodes() == 3
+        assert nx_graph.has_edge(0, 1)

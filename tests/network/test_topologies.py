@@ -1,0 +1,127 @@
+"""Dependency extraction on named influence topologies.
+
+Each case pins the extractor's semantics on a small graph shape that
+occurs in real social networks: chains, diamonds, stars, and mutual
+follows.
+"""
+
+import numpy as np
+import pytest
+
+from repro.network import EventLog, FollowGraph, Post, extract_dependency
+
+
+def _log(*posts):
+    return EventLog(
+        posts=[
+            Post(post_id=k, source=s, assertion=a, time=t)
+            for k, (s, a, t) in enumerate(posts)
+        ]
+    )
+
+
+class TestChain:
+    """0 follows 1 follows 2; information flows 2 → 1 → 0."""
+
+    @pytest.fixture
+    def graph(self):
+        return FollowGraph.from_edges(3, [(0, 1), (1, 2)])
+
+    def test_relay_direct(self, graph):
+        log = _log((2, 0, 1.0), (1, 0, 2.0), (0, 0, 3.0))
+        _, dependency = extract_dependency(log, graph, n_assertions=1)
+        assert dependency[2, 0] == 0  # originator
+        assert dependency[1, 0] == 1  # saw 2
+        assert dependency[0, 0] == 1  # saw 1
+        del dependency
+
+    def test_skip_level_requires_transitive(self, graph):
+        """2 posts; 1 stays silent; 0's post is only transitively dependent."""
+        log = _log((2, 0, 1.0), (0, 0, 3.0))
+        _, direct = extract_dependency(log, graph, n_assertions=1)
+        _, transitive = extract_dependency(
+            log, graph, n_assertions=1, policy="transitive"
+        )
+        assert direct[0, 0] == 0
+        assert transitive[0, 0] == 1
+        # The silent middle source was exposed either way.
+        assert direct[1, 0] == 1
+
+
+class TestDiamond:
+    """3 follows 1 and 2; both follow 0."""
+
+    @pytest.fixture
+    def graph(self):
+        return FollowGraph.from_edges(4, [(3, 1), (3, 2), (1, 0), (2, 0)])
+
+    def test_two_path_exposure_counts_once(self, graph):
+        log = _log((0, 0, 1.0), (1, 0, 2.0), (2, 0, 2.5), (3, 0, 3.0))
+        claims, dependency = extract_dependency(log, graph, n_assertions=1)
+        assert dependency[3, 0] == 1
+        assert int(claims.values.sum()) == 4
+
+    def test_earliest_ancestor_governs(self, graph):
+        """3's claim lands between its two ancestors' claims: still
+        dependent (1 was earlier)."""
+        log = _log((1, 0, 1.0), (3, 0, 2.0), (2, 0, 3.0))
+        _, dependency = extract_dependency(log, graph, n_assertions=1)
+        assert dependency[3, 0] == 1
+
+
+class TestStar:
+    """Sources 1..4 all follow hub 0."""
+
+    @pytest.fixture
+    def graph(self):
+        return FollowGraph.from_edges(5, [(k, 0) for k in range(1, 5)])
+
+    def test_hub_broadcast_marks_all_followers(self, graph):
+        log = _log((0, 0, 1.0), (1, 0, 2.0), (3, 0, 2.0))
+        _, dependency = extract_dependency(log, graph, n_assertions=1)
+        # Claimants after the hub: dependent claims.
+        assert dependency[1, 0] == 1
+        assert dependency[3, 0] == 1
+        # Silent followers: dependent non-claims (had the opportunity).
+        assert dependency[2, 0] == 1
+        assert dependency[4, 0] == 1
+        # The hub itself: independent.
+        assert dependency[0, 0] == 0
+
+    def test_hub_does_not_inherit_from_followers(self, graph):
+        log = _log((1, 0, 1.0), (0, 0, 2.0))
+        _, dependency = extract_dependency(log, graph, n_assertions=1)
+        assert dependency[0, 0] == 0
+
+
+class TestMutualFollows:
+    """0 and 1 follow each other: whoever posts second is dependent."""
+
+    @pytest.fixture
+    def graph(self):
+        return FollowGraph.from_edges(2, [(0, 1), (1, 0)])
+
+    def test_second_poster_dependent(self, graph):
+        log = _log((0, 0, 1.0), (1, 0, 2.0))
+        _, dependency = extract_dependency(log, graph, n_assertions=1)
+        assert dependency[0, 0] == 0
+        assert dependency[1, 0] == 1
+
+    def test_transitive_cycle_terminates(self, graph):
+        log = _log((0, 0, 1.0), (1, 0, 2.0))
+        _, dependency = extract_dependency(
+            log, graph, n_assertions=1, policy="transitive"
+        )
+        assert dependency[1, 0] == 1
+
+
+class TestMultiAssertionIndependence:
+    def test_columns_are_independent(self):
+        """Dependency on one assertion never leaks onto another."""
+        graph = FollowGraph.from_edges(2, [(1, 0)])
+        log = _log((0, 0, 1.0), (1, 0, 2.0), (1, 1, 3.0))
+        _, dependency = extract_dependency(log, graph, n_assertions=2)
+        assert dependency[1, 0] == 1
+        assert dependency[1, 1] == 0
+        expected = np.array([[0, 0], [1, 0]])
+        np.testing.assert_array_equal(dependency.values, expected)

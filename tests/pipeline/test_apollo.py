@@ -1,0 +1,50 @@
+"""Tests for the end-to-end Apollo pipeline."""
+
+import pytest
+
+from repro.datasets import simulate_dataset
+from repro.pipeline import ApolloPipeline
+from repro.utils.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def tweets():
+    dataset = simulate_dataset("la_marathon", scale=0.04, seed=11)
+    return dataset.evaluation_tweets()
+
+
+class TestApolloPipeline:
+    def test_run_with_em_ext(self, tweets):
+        report = ApolloPipeline("em-ext", seed=0).run(tweets)
+        assert report.algorithm == "em-ext"
+        assert report.built.problem.n_assertions == len(report.ranked)
+        # Ranked output is sorted by score descending.
+        scores = [r.score for r in report.ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_top_k(self, tweets):
+        report = ApolloPipeline("voting").run(tweets)
+        top = report.top(5)
+        assert len(top) == 5
+        assert all(r.representative_text for r in top)
+        assert all(r.n_supporters >= 1 for r in top)
+
+    def test_retweets_produce_dependent_claims(self, tweets):
+        report = ApolloPipeline("voting").run(tweets)
+        assert report.built.problem.dependent_claim_fraction() > 0.0
+
+    def test_explicit_follow_edges(self, tweets):
+        users = sorted({t.user for t in tweets})[:2]
+        report = ApolloPipeline("voting").run(
+            tweets, follow_edges=[(users[0], users[1])]
+        )
+        assert report.built.graph.n_edges >= 1
+
+    def test_unknown_algorithm_rejected(self, tweets):
+        with pytest.raises(ValidationError):
+            ApolloPipeline("telepathy").run(tweets)
+
+    def test_deterministic(self, tweets):
+        a = ApolloPipeline("em-ext", seed=7).run(tweets)
+        b = ApolloPipeline("em-ext", seed=7).run(tweets)
+        assert [r.assertion_id for r in a.ranked] == [r.assertion_id for r in b.ranked]

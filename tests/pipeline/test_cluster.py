@@ -1,0 +1,101 @@
+"""Tests for assertion clustering."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import Tweet, simulate_dataset
+from repro.pipeline import TokenClusterer, ingest_tweets, jaccard, tokenize
+from repro.utils.errors import ValidationError
+
+
+def _tweet(tweet_id, user, time, text, retweet_of=None):
+    return Tweet(
+        tweet_id=tweet_id, user=user, time=time, text=text,
+        assertion=0, retweet_of=retweet_of,
+    )
+
+
+class TestTokenize:
+    def test_strips_rt_prefix(self):
+        assert tokenize("RT @user99: bridge closed #traffic") == tokenize(
+            "bridge closed #traffic"
+        )
+
+    def test_drops_stop_and_filler_tokens(self):
+        assert tokenize("BREAKING: the bridge is closed") == {"bridge", "closed"}
+
+    def test_keeps_hashtags(self):
+        assert "#paris" in tokenize("explosion reported #paris")
+
+    def test_case_insensitive(self):
+        assert tokenize("Bridge CLOSED") == tokenize("bridge closed")
+
+
+class TestJaccard:
+    def test_identical(self):
+        tokens = frozenset({"a", "b"})
+        assert jaccard(tokens, tokens) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard(frozenset({"a"}), frozenset({"b"})) == 0.0
+
+    def test_partial(self):
+        assert jaccard(frozenset({"a", "b"}), frozenset({"b", "c"})) == pytest.approx(1 / 3)
+
+    def test_empty(self):
+        assert jaccard(frozenset(), frozenset({"a"})) == 0.0
+
+
+class TestTokenClusterer:
+    def test_threshold_validated(self):
+        with pytest.raises(ValidationError):
+            TokenClusterer(threshold=0.0)
+        with pytest.raises(ValidationError):
+            TokenClusterer(threshold=1.5)
+
+    def test_groups_same_statement(self):
+        tweets = ingest_tweets(
+            [
+                _tweet(0, 1, 1.0, "main street bridge closed after crash #traffic"),
+                _tweet(1, 2, 2.0, "BREAKING: main street bridge closed after crash #traffic"),
+                _tweet(2, 3, 3.0, "city marathon rerouted around downtown #race"),
+            ]
+        ).tweets
+        result = TokenClusterer().cluster(tweets)
+        assert result.n_clusters == 2
+        assert result.assignments[0] == result.assignments[1]
+        assert result.assignments[0] != result.assignments[2]
+
+    def test_retweets_join_parent_cluster(self):
+        tweets = ingest_tweets(
+            [
+                _tweet(0, 1, 1.0, "main street bridge closed #traffic"),
+                _tweet(1, 2, 2.0, "RT @user1: main street bridge closed #traffic", retweet_of=0),
+            ]
+        ).tweets
+        result = TokenClusterer().cluster(tweets)
+        assert result.assignments == [0, 0]
+
+    def test_representative_is_first_text(self):
+        tweets = ingest_tweets(
+            [
+                _tweet(0, 1, 1.0, "main street bridge closed #traffic"),
+                _tweet(1, 2, 2.0, "confirmed main street bridge closed #traffic"),
+            ]
+        ).tweets
+        result = TokenClusterer().cluster(tweets)
+        assert result.representatives == ["main street bridge closed #traffic"]
+
+    def test_recovers_simulated_assertions(self):
+        """On simulated tweets, clusters approximate the true assertion count."""
+        dataset = simulate_dataset("superbug", scale=0.03, seed=5)
+        tweets = dataset.tweets[:300]
+        ingested = ingest_tweets(tweets).tweets
+        result = TokenClusterer().cluster(ingested)
+        true_count = len({t.assertion for t in tweets})
+        assert 0.5 * true_count <= result.n_clusters <= 1.5 * true_count
+
+    def test_empty_input(self):
+        result = TokenClusterer().cluster([])
+        assert result.n_clusters == 0
+        assert result.assignments == []

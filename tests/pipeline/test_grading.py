@@ -1,0 +1,101 @@
+"""Tests for the Section V-C grading protocol."""
+
+import numpy as np
+import pytest
+
+from repro.core import FactFindingResult
+from repro.datasets import AssertionLabel
+from repro.pipeline import GradingReport, SimulatedGrader, grade_top_k
+from repro.utils.errors import ValidationError
+
+LABELS = [
+    AssertionLabel.TRUE,
+    AssertionLabel.FALSE,
+    AssertionLabel.OPINION,
+    AssertionLabel.TRUE,
+    AssertionLabel.FALSE,
+]
+
+
+def _result(scores):
+    scores = np.asarray(scores, dtype=float)
+    return FactFindingResult(
+        algorithm="t", scores=scores, decisions=(scores >= 0.5).astype(int)
+    )
+
+
+class TestSimulatedGrader:
+    def test_noiseless_grades_match_labels(self):
+        grader = SimulatedGrader(LABELS, seed=0)
+        grades = grader.grade([0, 1, 2])
+        assert grades[0] is AssertionLabel.TRUE
+        assert grades[1] is AssertionLabel.FALSE
+        assert grades[2] is AssertionLabel.OPINION
+
+    def test_out_of_range_id(self):
+        grader = SimulatedGrader(LABELS)
+        with pytest.raises(ValidationError):
+            grader.grade([99])
+
+    def test_noise_flips_verifiable_only(self):
+        grader = SimulatedGrader(LABELS, noise=1.0, seed=0)
+        grades = grader.grade([0, 1, 2])
+        assert grades[0] is AssertionLabel.FALSE  # flipped
+        assert grades[1] is AssertionLabel.TRUE  # flipped
+        assert grades[2] is AssertionLabel.OPINION  # opinions never flip
+
+    def test_invalid_noise(self):
+        with pytest.raises(ValidationError):
+            SimulatedGrader(LABELS, noise=1.5)
+
+
+class TestGradeTopK:
+    def test_true_ratio_definition(self):
+        # Algorithm ranks assertions 0,3 (true) top; 1 (false) third.
+        results = {"good": _result([0.9, 0.5, 0.1, 0.8, 0.2])}
+        grader = SimulatedGrader(LABELS, seed=0)
+        reports = grade_top_k(results, grader, k=3, seed=0)
+        report = reports["good"]
+        assert report.n_true == 2
+        assert report.n_false == 1
+        assert report.n_opinion == 0
+        assert report.true_ratio == pytest.approx(2 / 3)
+
+    def test_better_ranking_scores_higher(self):
+        good = _result([0.9, 0.1, 0.2, 0.8, 0.1])  # trues on top
+        bad = _result([0.1, 0.9, 0.8, 0.1, 0.9])  # falses on top
+        grader = SimulatedGrader(LABELS, seed=0)
+        reports = grade_top_k({"good": good, "bad": bad}, grader, k=2, seed=0)
+        assert reports["good"].true_ratio > reports["bad"].true_ratio
+
+    def test_shared_pool_grading(self):
+        """Both algorithms' shared assertions receive identical grades."""
+        a = _result([0.9, 0.8, 0.1, 0.2, 0.3])
+        b = _result([0.8, 0.9, 0.2, 0.1, 0.3])
+        grader = SimulatedGrader(LABELS, noise=0.5, seed=1)
+        reports = grade_top_k({"a": a, "b": b}, grader, k=2, seed=2)
+        # Top-2 of both are assertions {0, 1}: identical grade pool →
+        # identical counts.
+        assert reports["a"].n_true == reports["b"].n_true
+        assert reports["a"].n_false == reports["b"].n_false
+
+    def test_k_validated(self):
+        grader = SimulatedGrader(LABELS)
+        with pytest.raises(ValidationError):
+            grade_top_k({"a": _result([0.5] * 5)}, grader, k=0)
+
+    def test_k_larger_than_m(self):
+        grader = SimulatedGrader(LABELS, seed=0)
+        reports = grade_top_k({"a": _result([0.9, 0.1, 0.5, 0.6, 0.2])}, grader, k=50)
+        assert reports["a"].n_graded == 5
+
+
+class TestGradingReport:
+    def test_empty_report(self):
+        report = GradingReport(algorithm="x", n_true=0, n_false=0, n_opinion=0)
+        assert report.true_ratio == 0.0
+
+    def test_counts(self):
+        report = GradingReport(algorithm="x", n_true=3, n_false=1, n_opinion=1)
+        assert report.n_graded == 5
+        assert report.true_ratio == pytest.approx(0.6)

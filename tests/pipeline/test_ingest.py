@@ -1,0 +1,51 @@
+"""Tests for the ingestion stage."""
+
+import pytest
+
+from repro.datasets import Tweet
+from repro.pipeline import ingest_tweets
+from repro.utils.errors import DataError
+
+
+def _tweet(tweet_id, user, time, text="hello world", retweet_of=None):
+    return Tweet(
+        tweet_id=tweet_id, user=user, time=time, text=text,
+        assertion=0, retweet_of=retweet_of,
+    )
+
+
+class TestIngest:
+    def test_orders_by_time(self):
+        result = ingest_tweets([_tweet(0, 10, 5.0), _tweet(1, 11, 1.0)])
+        assert [t.tweet_id for t in result.tweets] == [1, 0]
+        assert [t.order for t in result.tweets] == [0, 1]
+
+    def test_compacts_user_ids(self):
+        result = ingest_tweets([_tweet(0, 500, 1.0), _tweet(1, 7, 2.0), _tweet(2, 500, 3.0)])
+        assert result.n_users == 2
+        assert result.tweets[0].user_index == 0
+        assert result.tweets[1].user_index == 1
+        assert result.tweets[2].user_index == 0
+        assert result.user_ids == [500, 7]
+
+    def test_user_index_lookup(self):
+        result = ingest_tweets([_tweet(0, 500, 1.0), _tweet(1, 7, 2.0)])
+        assert result.user_index(7) == 1
+        assert result.user_index(500) == 0
+
+    def test_duplicate_tweet_ids(self):
+        with pytest.raises(DataError):
+            ingest_tweets([_tweet(0, 1, 1.0), _tweet(0, 2, 2.0)])
+
+    def test_empty_text(self):
+        with pytest.raises(DataError):
+            ingest_tweets([_tweet(0, 1, 1.0, text="  ")])
+
+    def test_retweet_reference_preserved(self):
+        result = ingest_tweets([_tweet(0, 1, 1.0), _tweet(1, 2, 2.0, retweet_of=0)])
+        assert result.tweets[1].retweet_of == 0
+
+    def test_empty_stream(self):
+        result = ingest_tweets([])
+        assert result.n_users == 0
+        assert result.tweets == []

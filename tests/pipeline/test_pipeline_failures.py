@@ -1,0 +1,104 @@
+"""Failure injection through the Apollo pipeline.
+
+Real crawls are messy: windows cut cascades, users delete tweets,
+texts collide.  The pipeline must degrade predictably, never crash or
+silently corrupt the matrices.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import Tweet
+from repro.pipeline import ApolloPipeline, TokenClusterer, ingest_tweets
+from repro.utils.errors import DataError
+
+
+def _tweet(tweet_id, user, time, text, retweet_of=None):
+    return Tweet(
+        tweet_id=tweet_id, user=user, time=time, text=text,
+        assertion=0, retweet_of=retweet_of,
+    )
+
+
+class TestWindowTruncation:
+    def test_cascade_cut_at_window_start(self):
+        """Retweets of pre-window posts become originals, not crashes."""
+        tweets = [
+            _tweet(10, 1, 5.0, "RT @user0: bridge closed downtown #alert",
+                   retweet_of=3),  # parent id 3 not in window
+            _tweet(11, 2, 6.0, "bridge closed downtown #alert"),
+        ]
+        report = ApolloPipeline("voting").run(tweets)
+        problem = report.built.problem
+        assert problem.n_sources == 2
+        # Both land in one cluster (the RT prefix is stripped).
+        assert problem.n_assertions == 1
+        assert problem.dependent_claim_fraction() == 0.0
+
+    def test_chained_retweets_partially_cut(self):
+        tweets = [
+            _tweet(1, 5, 2.0, "storm surge at the pier #weather"),
+            _tweet(2, 6, 3.0, "RT @user5: storm surge at the pier #weather",
+                   retweet_of=1),
+            _tweet(3, 7, 4.0, "RT @user6: storm surge at the pier #weather",
+                   retweet_of=2),
+        ]
+        report = ApolloPipeline("voting").run(tweets[1:])  # cut the root
+        problem = report.built.problem
+        assert problem.claims.n_claims == 2
+        # The surviving retweet relation still yields one dependent claim.
+        assert (problem.claims.values & problem.dependency.values).sum() == 1
+
+
+class TestTextPathologies:
+    def test_emoji_and_punctuation_only_noise(self):
+        tweets = [
+            _tweet(0, 1, 1.0, "!!! ??? ..."),
+            _tweet(1, 2, 2.0, "bridge closed downtown #alert"),
+        ]
+        # Empty token sets open their own clusters rather than crashing.
+        clusters = TokenClusterer().cluster(ingest_tweets(tweets).tweets)
+        assert clusters.n_clusters == 2
+
+    def test_identical_texts_from_many_users(self):
+        tweets = [
+            _tweet(k, 100 + k, float(k), "bridge closed downtown #alert")
+            for k in range(20)
+        ]
+        report = ApolloPipeline("em-ext", seed=0).run(tweets)
+        assert report.built.problem.n_assertions == 1
+        assert report.built.problem.claims.n_claims == 20
+
+    def test_same_user_repeats_claim(self):
+        """A user tweeting the same statement twice yields one claim."""
+        tweets = [
+            _tweet(0, 1, 1.0, "bridge closed downtown #alert"),
+            _tweet(1, 1, 2.0, "bridge closed downtown #alert"),
+        ]
+        report = ApolloPipeline("voting").run(tweets)
+        assert report.built.problem.claims.n_claims == 1
+
+
+class TestStreamValidation:
+    def test_duplicate_ids_raise(self):
+        tweets = [
+            _tweet(0, 1, 1.0, "hello world"),
+            _tweet(0, 2, 2.0, "hello again"),
+        ]
+        with pytest.raises(DataError):
+            ApolloPipeline("voting").run(tweets)
+
+    def test_empty_stream(self):
+        report = ApolloPipeline("voting").run([])
+        assert report.built.problem.n_assertions == 0
+        assert report.ranked == []
+
+    def test_self_follow_edges_dropped(self):
+        tweets = [_tweet(0, 1, 1.0, "bridge closed downtown #alert")]
+        report = ApolloPipeline("voting").run(tweets, follow_edges=[(1, 1)])
+        assert report.built.graph.n_edges == 0
+
+    def test_unknown_users_in_follow_edges_ignored(self):
+        tweets = [_tweet(0, 1, 1.0, "bridge closed downtown #alert")]
+        report = ApolloPipeline("voting").run(tweets, follow_edges=[(999, 1)])
+        assert report.built.graph.n_edges == 0

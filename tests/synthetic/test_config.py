@@ -1,0 +1,78 @@
+"""Tests for the generator configuration."""
+
+import pytest
+
+from repro.synthetic import GeneratorConfig
+from repro.utils.errors import ValidationError
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        config = GeneratorConfig.paper_defaults()
+        assert config.n_sources == 20
+        assert config.n_assertions == 50
+        assert config.n_trees == (8, 10)
+        assert config.p_on == (0.5, 0.7)
+        assert config.true_ratio == (0.55, 0.75)
+        assert config.mode == "cell"
+
+    def test_estimator_defaults(self):
+        config = GeneratorConfig.estimator_defaults()
+        assert config.n_sources == 50
+
+    def test_estimator_defaults_override(self):
+        config = GeneratorConfig.estimator_defaults(n_sources=30)
+        assert config.n_sources == 30
+
+
+class TestNormalisation:
+    def test_scalar_ranges_normalised(self):
+        config = GeneratorConfig(p_on=0.6, n_trees=5)
+        assert config.p_on == (0.6, 0.6)
+        assert config.n_trees == (5, 5)
+
+    def test_effective_rounds_default(self):
+        assert GeneratorConfig().effective_rounds == 50
+        assert GeneratorConfig(rounds=7).effective_rounds == 7
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_sources": 0},
+            {"n_assertions": 0},
+            {"n_trees": (0, 5)},
+            {"n_trees": (5, 3)},
+            {"n_trees": (1, 25)},  # exceeds default 20 sources
+            {"p_on": (0.7, 0.5)},
+            {"p_on": (0.5, 1.5)},
+            {"true_ratio": -0.1},
+            {"mode": "quantum"},
+            {"rounds": -1},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValidationError):
+            GeneratorConfig(**kwargs)
+
+
+class TestOddsHelpers:
+    def test_dependent_odds(self):
+        config = GeneratorConfig().with_dependent_odds(2.0)
+        low, high = config.p_dep_true
+        assert low == high == pytest.approx(2.0 / 3.0)
+
+    def test_independent_odds(self):
+        config = GeneratorConfig().with_independent_odds(1.0)
+        assert config.p_indep_true == (0.5, 0.5)
+
+    def test_invalid_odds(self):
+        with pytest.raises(ValidationError):
+            GeneratorConfig().with_dependent_odds(0.0)
+        with pytest.raises(ValidationError):
+            GeneratorConfig().with_independent_odds(-1.0)
+
+    def test_other_fields_preserved(self):
+        config = GeneratorConfig(n_sources=33).with_dependent_odds(1.5)
+        assert config.n_sources == 33

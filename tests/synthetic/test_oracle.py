@@ -1,0 +1,92 @@
+"""Tests for oracle parameter extraction."""
+
+import numpy as np
+import pytest
+
+from repro.core import SensingProblem
+from repro.synthetic import (
+    GeneratorConfig,
+    analytic_parameters,
+    empirical_parameters,
+    generate_dataset,
+)
+from repro.utils.errors import ValidationError
+
+
+class TestEmpiricalParameters:
+    def test_requires_truth(self, synthetic_dataset):
+        with pytest.raises(ValidationError):
+            empirical_parameters(synthetic_dataset.problem.without_truth())
+
+    def test_hand_computed(self):
+        sc = np.array([[1, 0, 1], [0, 1, 0]])
+        dep = np.array([[0, 0, 1], [0, 0, 0]])
+        truth = np.array([1, 0, 1])
+        params = empirical_parameters(SensingProblem(sc, dep, truth=truth))
+        # Source 0: independent true cells = column 0 only (column 2 is
+        # dependent): claimed → a = 1. Independent false = column 1,
+        # unclaimed → b = 0. Dependent true = column 2, claimed → f = 1.
+        assert params.a[0] == pytest.approx(1.0)
+        assert params.b[0] == pytest.approx(0.0)
+        assert params.f[0] == pytest.approx(1.0)
+        # Source 0 has no dependent false cells → g falls back to 0.5.
+        assert params.g[0] == pytest.approx(0.5)
+        # Source 1: a = (0 + 0)/2 = 0 over columns {0, 2}; b = 1.
+        assert params.a[1] == pytest.approx(0.0)
+        assert params.b[1] == pytest.approx(1.0)
+        assert params.z == pytest.approx(2 / 3)
+
+    def test_matches_generator_rates(self):
+        """On a large cell-mode dataset the oracle recovers the true rates."""
+        config = GeneratorConfig(
+            n_sources=10, n_assertions=3000, n_trees=10,
+            p_on=0.6, p_indep_true=(0.7, 0.7), true_ratio=0.5,
+        )
+        dataset = generate_dataset(config, seed=0)
+        params = empirical_parameters(dataset.problem)
+        np.testing.assert_allclose(params.a, 0.6 * 0.7, atol=0.05)
+        np.testing.assert_allclose(params.b, 0.6 * 0.3, atol=0.05)
+
+    def test_z_is_truth_mean(self, synthetic_dataset):
+        params = empirical_parameters(synthetic_dataset.problem)
+        assert params.z == pytest.approx(synthetic_dataset.problem.truth.mean())
+
+
+class TestAnalyticParameters:
+    def test_cell_mode_closed_form(self):
+        config = GeneratorConfig(
+            p_on=0.6, p_indep_true=(2 / 3, 2 / 3), p_dep=0.5, p_dep_true=(0.5, 0.5)
+        )
+        params = analytic_parameters(config, n_trees=9, true_ratio=0.6)
+        assert params.a[0] == pytest.approx(0.6 * 2 / 3)
+        assert params.b[0] == pytest.approx(0.6 * 1 / 3)
+        assert params.f[0] == pytest.approx(0.25)
+        assert params.g[0] == pytest.approx(0.25)
+        assert params.z == pytest.approx(30 / 50)
+
+    def test_pool_mode_rates_bounded(self):
+        config = GeneratorConfig(mode="pool")
+        params = analytic_parameters(config, n_trees=9, true_ratio=0.6)
+        assert (params.a > 0).all() and (params.a < 1).all()
+        assert (params.b > 0).all() and (params.b < 1).all()
+
+    def test_validation(self):
+        config = GeneratorConfig()
+        with pytest.raises(ValidationError):
+            analytic_parameters(config, n_trees=0, true_ratio=0.6)
+        with pytest.raises(ValidationError):
+            analytic_parameters(config, n_trees=5, true_ratio=1.0)
+
+    def test_analytic_near_empirical(self):
+        """Analytic midpoint rates approximate measured rates."""
+        config = GeneratorConfig(
+            n_sources=20, n_assertions=1000,
+            p_on=0.6, p_indep_true=(2 / 3, 2 / 3),
+            p_dep=0.5, p_dep_true=(0.5, 0.5),
+            n_trees=10, true_ratio=0.6,
+        )
+        dataset = generate_dataset(config, seed=3)
+        empirical = empirical_parameters(dataset.problem)
+        analytic = analytic_parameters(config, n_trees=10, true_ratio=0.6)
+        assert abs(empirical.a.mean() - analytic.a[0]) < 0.05
+        assert abs(empirical.b.mean() - analytic.b[0]) < 0.05

@@ -1,0 +1,124 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.io import load_problem, load_result, load_tweets
+
+
+@pytest.fixture
+def problem_file(tmp_path):
+    path = tmp_path / "problem.json"
+    code = main(
+        [
+            "generate", "--out", str(path), "--seed", "3",
+            "--n-sources", "12", "--n-assertions", "20", "--with-truth",
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_problem(self, problem_file):
+        problem = load_problem(problem_file)
+        assert problem.n_sources == 12
+        assert problem.n_assertions == 20
+        assert problem.has_truth
+
+    def test_without_truth(self, tmp_path):
+        path = tmp_path / "blind.json"
+        assert main(["generate", "--out", str(path), "--seed", "1"]) == 0
+        assert not load_problem(path).has_truth
+
+    def test_fixed_trees(self, tmp_path, capsys):
+        path = tmp_path / "p.json"
+        code = main(
+            ["generate", "--out", str(path), "--seed", "1", "--n-trees", "12",
+             "--n-sources", "12"]
+        )
+        assert code == 0
+        problem = load_problem(path)
+        assert problem.dependency.dependent_fraction == 0.0
+
+    def test_deterministic(self, tmp_path):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        main(["generate", "--out", str(a), "--seed", "9"])
+        main(["generate", "--out", str(b), "--seed", "9"])
+        assert a.read_bytes() == b.read_bytes()
+
+
+class TestEstimate:
+    def test_estimate_and_save(self, problem_file, tmp_path, capsys):
+        out = tmp_path / "result.json"
+        code = main(
+            ["estimate", "--problem", str(problem_file), "--out", str(out),
+             "--algorithm", "em-ext", "--top", "3"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "em-ext" in output
+        result = load_result(out)
+        assert result.n_assertions == 20
+
+    def test_heuristic_algorithm(self, problem_file, capsys):
+        assert main(
+            ["estimate", "--problem", str(problem_file), "--algorithm", "voting"]
+        ) == 0
+        assert "voting" in capsys.readouterr().out
+
+    def test_missing_file(self, tmp_path, capsys):
+        code = main(["estimate", "--problem", str(tmp_path / "missing.json")])
+        assert code == 1
+
+
+class TestBound:
+    def test_exact_bound(self, problem_file, capsys):
+        assert main(["bound", "--problem", str(problem_file), "--method", "exact"]) == 0
+        output = capsys.readouterr().out
+        assert "exact bound" in output
+        assert "optimal accuracy ceiling" in output
+
+    def test_bhattacharyya(self, problem_file, capsys):
+        code = main(
+            ["bound", "--problem", str(problem_file), "--method", "bhattacharyya"]
+        )
+        assert code == 0
+        assert "bracket" in capsys.readouterr().out
+
+    def test_requires_truth(self, tmp_path, capsys):
+        path = tmp_path / "blind.json"
+        main(["generate", "--out", str(path), "--seed", "1"])
+        code = main(["bound", "--problem", str(path)])
+        assert code == 2
+        assert "truth" in capsys.readouterr().err
+
+
+class TestSimulate:
+    def test_writes_outputs(self, tmp_path, capsys):
+        tweets_path = tmp_path / "tweets.jsonl"
+        problem_path = tmp_path / "eval.json"
+        code = main(
+            ["simulate", "--dataset", "kirkuk", "--scale", "0.02", "--seed", "1",
+             "--tweets-out", str(tweets_path), "--problem-out", str(problem_path)]
+        )
+        assert code == 0
+        assert len(load_tweets(tweets_path)) > 0
+        assert load_problem(problem_path).has_truth
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--dataset", "moonbase"])
+
+
+class TestExperiment:
+    def test_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        assert "0.26980433" in capsys.readouterr().out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])

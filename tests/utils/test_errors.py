@@ -1,0 +1,30 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.utils.errors import (
+    ConvergenceError,
+    DataError,
+    ReproError,
+    ValidationError,
+)
+
+
+def test_all_derive_from_repro_error():
+    for exc in (ValidationError, DataError, ConvergenceError):
+        assert issubclass(exc, ReproError)
+
+
+def test_validation_error_is_value_error():
+    assert issubclass(ValidationError, ValueError)
+
+
+def test_convergence_error_carries_diagnostics():
+    error = ConvergenceError("no convergence", iterations=17, residual=0.25)
+    assert error.iterations == 17
+    assert error.residual == 0.25
+
+
+def test_catching_base_class():
+    with pytest.raises(ReproError):
+        raise DataError("broken stream")

@@ -1,0 +1,60 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import RandomState, derive_seed, spawn_rngs
+
+
+class TestRandomState:
+    def test_none_returns_generator(self):
+        assert isinstance(RandomState(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = RandomState(42).random(5)
+        b = RandomState(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(RandomState(1).random(5), RandomState(2).random(5))
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert RandomState(generator) is generator
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_children_are_independent(self):
+        children = spawn_rngs(0, 3)
+        draws = [c.random(4).tolist() for c in children]
+        assert draws[0] != draws[1] != draws[2]
+
+    def test_deterministic_given_seed(self):
+        first = [c.random(3).tolist() for c in spawn_rngs(11, 2)]
+        second = [c.random(3).tolist() for c in spawn_rngs(11, 2)]
+        assert first == second
+
+    def test_spawn_from_generator(self):
+        children = spawn_rngs(np.random.default_rng(5), 2)
+        assert len(children) == 2
+
+
+class TestDeriveSeed:
+    def test_returns_int_in_range(self):
+        seed = derive_seed(np.random.default_rng(0))
+        assert isinstance(seed, int)
+        assert 0 <= seed < 2**63
+
+    def test_advances_generator(self):
+        generator = np.random.default_rng(0)
+        assert derive_seed(generator) != derive_seed(generator)
