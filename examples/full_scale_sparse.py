@@ -15,7 +15,6 @@ Run:
 
 import time
 
-import numpy as np
 
 from repro.core import EMConfig
 from repro.datasets import AssertionLabel, simulate_dataset, summarize_cascades

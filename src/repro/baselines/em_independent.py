@@ -14,14 +14,17 @@ conditionally independent given the assertion truth:
   over-counting but throws away whatever information the repeats carry,
   which is the gap EM-Ext closes.
 
-Both are implemented on one masked-EM engine; EM is the special case of
-an all-ones mask.
+Both ride the shared estimation engine: the masked independence model
+is :class:`~repro.engine.backends.MaskedDenseBackend`, driven by the
+same :class:`~repro.engine.driver.EMDriver` (restarts, convergence,
+tracing, telemetry) the dependency-aware estimators use; EM is the
+special case of an all-ones mask.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Sequence
 
 import numpy as np
 
@@ -29,9 +32,11 @@ from repro.baselines.base import FactFinder
 from repro.core.matrix import SensingProblem
 from repro.core.model import DEFAULT_EPSILON
 from repro.core.result import EstimationResult
-from repro.core.model import ParameterTrace
+from repro.engine.backends import MaskedDenseBackend
+from repro.engine.driver import EMDriver, IterationCallback
+from repro.engine.initialisation import support_initialisation
 from repro.utils.errors import ValidationError
-from repro.utils.rng import RandomState, SeedLike, spawn_rngs
+from repro.utils.rng import SeedLike
 from repro.utils.validation import check_positive_int
 
 
@@ -76,6 +81,7 @@ class _MaskedIndependentEM(FactFinder):
         init_strategy: str = "support",
         smoothing: float = 0.0,
         seed: SeedLike = None,
+        callbacks: Sequence[IterationCallback] = (),
     ):
         check_positive_int(max_iterations, "max_iterations")
         check_positive_int(n_restarts, "n_restarts")
@@ -96,6 +102,7 @@ class _MaskedIndependentEM(FactFinder):
         self.init_strategy = init_strategy
         self.smoothing = smoothing
         self._seed = seed
+        self.callbacks = tuple(callbacks)
 
     # Subclasses define which cells participate.
     def _mask(self, problem: SensingProblem) -> np.ndarray:
@@ -105,136 +112,38 @@ class _MaskedIndependentEM(FactFinder):
         """Run (multi-restart) masked EM and return the best fixed point."""
         sc = problem.claims.values.astype(np.float64)
         mask = self._mask(problem).astype(np.float64)
-        if mask.shape != sc.shape:
-            raise ValidationError(
-                f"mask shape {mask.shape} does not match claims {sc.shape}"
-            )
-        best: Optional[EstimationResult] = None
-        rngs = spawn_rngs(RandomState(self._seed), self.n_restarts)
-        for index, rng in enumerate(rngs):
-            if index == 0 and self.init_strategy == "support":
-                init = self._support_initialisation(sc, mask)
-            else:
-                init = IndependentParameters(
-                    t=rng.uniform(0.4, 0.8, size=sc.shape[0]),
-                    b=rng.uniform(0.05, 0.35, size=sc.shape[0]),
-                    z=float(rng.uniform(0.3, 0.7)),
-                ).clamp(self.epsilon)
-            candidate = self._run_once(sc, mask, init)
-            if best is None or candidate.log_likelihood > best.log_likelihood:
-                best = candidate
-        assert best is not None
-        return best
-
-    def _support_initialisation(
-        self, sc: np.ndarray, mask: np.ndarray
-    ) -> IndependentParameters:
-        """Vote-count warm start (mirrors EM-Ext's support initialisation)."""
-        support = (sc * mask).sum(axis=0)
-        top = float(support.max()) if support.size else 0.0
-        if top > 0:
-            posterior = 0.2 + 0.6 * support / top
-        else:
-            posterior = np.full(sc.shape[1], 0.5)
-        neutral = IndependentParameters(
-            t=np.full(sc.shape[0], 0.55), b=np.full(sc.shape[0], 0.45), z=0.5
+        backend = MaskedDenseBackend(
+            sc, mask, smoothing=self.smoothing, epsilon=self.epsilon
         )
-        return self._m_step(sc, mask, posterior, neutral)
+        driver = EMDriver(
+            max_iterations=self.max_iterations,
+            tolerance=self.tolerance,
+            n_restarts=self.n_restarts,
+            callbacks=self.callbacks,
+        )
 
-    def _run_once(
-        self, sc: np.ndarray, mask: np.ndarray, params: IndependentParameters
-    ) -> EstimationResult:
-        trace = ParameterTrace()
-        converged = False
-        posterior = self._posterior(sc, mask, params)
-        for _ in range(self.max_iterations):
-            new_params = self._m_step(sc, mask, posterior, params)
-            delta = new_params.max_difference(params)
-            params = new_params
-            posterior = self._posterior(sc, mask, params)
-            trace.record(self._log_likelihood(sc, mask, params), delta)
-            if delta < self.tolerance:
-                converged = True
-                break
-        decisions = (posterior >= 0.5).astype(np.int8)
+        def _init(index: int, rng: np.random.Generator) -> IndependentParameters:
+            if index == 0 and self.init_strategy == "support":
+                return support_initialisation(backend)
+            return backend.random_params(rng)
+
+        outcome = driver.fit(backend, _init, self._seed)
+        params = outcome.parameters
         return EstimationResult(
             algorithm=self.algorithm_name,
-            scores=posterior,
-            decisions=decisions,
+            scores=outcome.posterior,
+            decisions=outcome.decisions,
             parameters=None,
-            log_likelihood=(
-                trace.log_likelihoods[-1]
-                if trace.n_iterations
-                else self._log_likelihood(sc, mask, params)
-            ),
-            converged=converged,
-            n_iterations=trace.n_iterations,
-            trace=trace,
+            log_likelihood=outcome.log_likelihood,
+            converged=outcome.converged,
+            n_iterations=outcome.n_iterations,
+            trace=outcome.trace,
             extras={
                 "t": params.t,
                 "b": params.b,
                 "z": params.z,
             },
         )
-
-    @staticmethod
-    def _column_log_likelihoods(
-        sc: np.ndarray, mask: np.ndarray, params: IndependentParameters
-    ):
-        log_t, log_1t = np.log(params.t), np.log1p(-params.t)
-        log_b, log_1b = np.log(params.b), np.log1p(-params.b)
-        log_true = mask * (sc * log_t[:, None] + (1 - sc) * log_1t[:, None])
-        log_false = mask * (sc * log_b[:, None] + (1 - sc) * log_1b[:, None])
-        return log_true.sum(axis=0), log_false.sum(axis=0)
-
-    def _posterior(
-        self, sc: np.ndarray, mask: np.ndarray, params: IndependentParameters
-    ) -> np.ndarray:
-        log_true, log_false = self._column_log_likelihoods(sc, mask, params)
-        joint_true = log_true + np.log(params.z)
-        joint_false = log_false + np.log1p(-params.z)
-        top = np.maximum(joint_true, joint_false)
-        num = np.exp(joint_true - top)
-        return num / (num + np.exp(joint_false - top))
-
-    def _log_likelihood(
-        self, sc: np.ndarray, mask: np.ndarray, params: IndependentParameters
-    ) -> float:
-        log_true, log_false = self._column_log_likelihoods(sc, mask, params)
-        joint_true = log_true + np.log(params.z)
-        joint_false = log_false + np.log1p(-params.z)
-        top = np.maximum(joint_true, joint_false)
-        return float(
-            (top + np.log(np.exp(joint_true - top) + np.exp(joint_false - top))).sum()
-        )
-
-    def _m_step(
-        self,
-        sc: np.ndarray,
-        mask: np.ndarray,
-        posterior: np.ndarray,
-        previous: IndependentParameters,
-    ) -> IndependentParameters:
-        z_post = posterior
-        y_post = 1.0 - posterior
-
-        def _ratio(weight: np.ndarray, fallback: np.ndarray) -> np.ndarray:
-            numerator = (sc * mask) @ weight
-            denominator = mask @ weight
-            # Hierarchical shrinkage toward the pooled rate (see
-            # EMConfig.smoothing in repro.core.em_ext).
-            pooled_den = float(denominator.sum())
-            pooled = float(numerator.sum()) / pooled_den if pooled_den > 0 else 0.5
-            numerator = numerator + self.smoothing * pooled
-            denominator = denominator + self.smoothing
-            with np.errstate(invalid="ignore", divide="ignore"):
-                ratio = numerator / denominator
-            return np.where(denominator > 0, ratio, fallback)
-
-        t = _ratio(z_post, previous.t)
-        b = _ratio(y_post, previous.b)
-        z = float(z_post.mean()) if z_post.size else previous.z
-        return IndependentParameters(t=t, b=b, z=z).clamp(self.epsilon)
 
 
 class EMIndependent(_MaskedIndependentEM):

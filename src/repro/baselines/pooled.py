@@ -10,21 +10,53 @@ modelling worth `4n` extra parameters on this data?  On synthetic
 workloads with heterogeneous sources the per-source EM-Ext wins; at
 extreme sparsity the pooled model's stability can close the gap
 (see ``benchmarks/test_ablations.py``).
+
+Implementation-wise this is the engine's pluggable-backend design at
+work: a :class:`~repro.engine.backends.DenseBackend` subclass that
+overrides only the M-step (pooled scalar ratios instead of per-source
+ones), driven by the same :class:`~repro.engine.driver.EMDriver` and
+support warm start as every other estimator.
 """
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from repro.baselines.base import FactFinder
-from repro.core.likelihood import data_log_likelihood, posterior_truth
 from repro.core.matrix import SensingProblem
-from repro.core.model import DEFAULT_EPSILON, ParameterTrace, SourceParameters
+from repro.core.model import DEFAULT_EPSILON, SourceParameters
 from repro.core.result import EstimationResult
+from repro.engine.backends import DenseBackend
+from repro.engine.driver import EMDriver
+from repro.engine.initialisation import support_initialisation
 from repro.utils.errors import ValidationError
 from repro.utils.validation import check_positive_int
+
+
+class _PooledDenseBackend(DenseBackend):
+    """Dense backend whose M-step pools counts over the whole population."""
+
+    def m_step(
+        self, posterior: np.ndarray, previous: SourceParameters
+    ) -> SourceParameters:
+        z_mass = posterior
+        y_mass = 1.0 - posterior
+
+        def _pooled(mask: np.ndarray, weight: np.ndarray) -> float:
+            denominator = float((mask @ weight).sum())
+            if denominator <= 0:
+                return 0.5
+            return float(((self.sc * mask) @ weight).sum() / denominator)
+
+        z = float(posterior.mean()) if posterior.size else 0.5
+        return SourceParameters.from_scalars(
+            self.n_sources,
+            a=_pooled(self.indep, z_mass),
+            b=_pooled(self.indep, y_mass),
+            f=_pooled(self.dep, z_mass),
+            g=_pooled(self.dep, y_mass),
+            z=z,
+        ).clamp(self.epsilon)
 
 
 class PooledEMExt(FactFinder):
@@ -52,69 +84,22 @@ class PooledEMExt(FactFinder):
 
     def fit(self, problem: SensingProblem) -> EstimationResult:
         """Run pooled EM from a dependency-discounted support start."""
-        sc = problem.claims.values.astype(np.float64)
-        dep = problem.dependency.values.astype(np.float64)
-        indep = 1.0 - dep
-        support = (sc * indep).sum(axis=0)
-        top = float(support.max()) if support.size else 0.0
-        if top > 0:
-            posterior = 0.2 + 0.6 * support / top
-        else:
-            posterior = np.full(problem.n_assertions, 0.5)
-        params = self._m_step(problem, sc, dep, indep, posterior)
-        posterior = posterior_truth(problem, params)
-        trace = ParameterTrace()
-        converged = False
-        for _ in range(self.max_iterations):
-            new_params = self._m_step(problem, sc, dep, indep, posterior)
-            delta = new_params.max_difference(params)
-            params = new_params
-            posterior = posterior_truth(problem, params)
-            trace.record(data_log_likelihood(problem, params), delta)
-            if delta < self.tolerance:
-                converged = True
-                break
+        backend = _PooledDenseBackend(problem, epsilon=self.epsilon)
+        params = support_initialisation(backend)
+        driver = EMDriver(
+            max_iterations=self.max_iterations, tolerance=self.tolerance
+        )
+        outcome = driver.run(backend, params)
         return EstimationResult(
             algorithm=self.algorithm_name,
-            scores=posterior,
-            decisions=(posterior >= 0.5).astype(np.int8),
-            parameters=params,
-            log_likelihood=(
-                trace.log_likelihoods[-1]
-                if trace.n_iterations
-                else data_log_likelihood(problem, params)
-            ),
-            converged=converged,
-            n_iterations=trace.n_iterations,
-            trace=trace,
+            scores=outcome.posterior,
+            decisions=outcome.decisions,
+            parameters=outcome.parameters,
+            log_likelihood=outcome.log_likelihood,
+            converged=outcome.converged,
+            n_iterations=outcome.n_iterations,
+            trace=outcome.trace,
         )
-
-    def _m_step(
-        self,
-        problem: SensingProblem,
-        sc: np.ndarray,
-        dep: np.ndarray,
-        indep: np.ndarray,
-        posterior: np.ndarray,
-    ) -> SourceParameters:
-        z_mass = posterior
-        y_mass = 1.0 - posterior
-
-        def _pooled(mask: np.ndarray, weight: np.ndarray) -> float:
-            denominator = float((mask @ weight).sum())
-            if denominator <= 0:
-                return 0.5
-            return float(((sc * mask) @ weight).sum() / denominator)
-
-        z = float(posterior.mean()) if posterior.size else 0.5
-        return SourceParameters.from_scalars(
-            problem.n_sources,
-            a=_pooled(indep, z_mass),
-            b=_pooled(indep, y_mass),
-            f=_pooled(dep, z_mass),
-            g=_pooled(dep, y_mass),
-            z=z,
-        ).clamp(self.epsilon)
 
 
 __all__ = ["PooledEMExt"]

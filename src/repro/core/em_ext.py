@@ -12,9 +12,12 @@ assertion from the source-claim matrix ``SC`` and dependency indicators
   :math:`S_iC_{0/1}^{D_{0/1}}` (claim / non-claim × dependent /
   independent) and reweight by the posteriors.
 
-The implementation is fully vectorised: one E-step and one M-step are a
-handful of matrix products, so problems with thousands of sources and
-assertions fit comfortably in milliseconds per iteration.
+The numerical work lives in the shared estimation engine
+(:mod:`repro.engine`): this class wires the
+:class:`~repro.engine.backends.DenseBackend` into the generic
+:class:`~repro.engine.driver.EMDriver` and the shared initialisation
+strategies.  The sparse and streaming estimators reuse exactly the
+same kernels through other backends.
 
 Practical extensions beyond the pseudocode (all standard EM hygiene,
 documented in DESIGN.md §5.5):
@@ -32,16 +35,18 @@ documented in DESIGN.md §5.5):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.core.likelihood import data_log_likelihood, posterior_truth
 from repro.core.matrix import SensingProblem
-from repro.core.model import DEFAULT_EPSILON, ParameterTrace, SourceParameters
+from repro.core.model import DEFAULT_EPSILON, SourceParameters
 from repro.core.result import EstimationResult
+from repro.engine.backends import DenseBackend
+from repro.engine.driver import EMDriver, IterationCallback
+from repro.engine.initialisation import staged_initialisation, support_initialisation
 from repro.utils.errors import ValidationError
-from repro.utils.rng import RandomState, SeedLike, spawn_rngs
+from repro.utils.rng import SeedLike
 from repro.utils.validation import check_positive_int
 
 
@@ -135,212 +140,66 @@ class EMExtEstimator:
         *,
         seed: SeedLike = None,
         initial_parameters: Optional[SourceParameters] = None,
+        callbacks: Sequence[IterationCallback] = (),
     ):
         self.config = config or EMConfig()
         self._seed = seed
         self.initial_parameters = initial_parameters
+        self.callbacks = tuple(callbacks)
 
     # -- public API ------------------------------------------------------------
 
     def fit(self, problem: SensingProblem) -> EstimationResult:
         """Run EM on ``problem`` and return the richest result object."""
-        rng = RandomState(self._seed)
-        restarts = self.config.n_restarts
-        best: Optional[EstimationResult] = None
-        for index, restart_rng in enumerate(spawn_rngs(rng, restarts)):
-            strategy = self.config.init_strategy
-            if index > 0 or self.initial_parameters is not None:
-                init = self._initial_parameters(problem, restart_rng)
-            elif strategy == "staged":
-                init = self._staged_initialisation(problem)
-            elif strategy == "support":
-                init = self._support_initialisation(problem)
-            else:
-                init = self._initial_parameters(problem, restart_rng)
-            candidate = self._run_once(problem, init)
-            if best is None or candidate.log_likelihood > best.log_likelihood:
-                best = candidate
-        assert best is not None  # restarts >= 1 by construction
-        return best
+        backend = DenseBackend(
+            problem,
+            smoothing=self.config.smoothing,
+            epsilon=self.config.epsilon,
+        )
+        driver = EMDriver.from_config(self.config, callbacks=self.callbacks)
+        outcome = driver.fit(backend, self._initialiser(backend), self._seed)
+        return EstimationResult(
+            algorithm=self.algorithm_name,
+            scores=outcome.posterior,
+            decisions=outcome.decisions,
+            parameters=outcome.parameters,
+            log_likelihood=outcome.log_likelihood,
+            converged=outcome.converged,
+            n_iterations=outcome.n_iterations,
+            trace=outcome.trace,
+        )
 
     # -- internals ---------------------------------------------------------------
 
+    def _initialiser(self, backend: DenseBackend):
+        """Restart ``index`` → starting parameters (driver protocol)."""
+
+        def _init(index: int, rng: np.random.Generator) -> SourceParameters:
+            strategy = self.config.init_strategy
+            if index > 0 or self.initial_parameters is not None:
+                return self._initial_parameters(backend, rng)
+            if strategy == "staged":
+                return staged_initialisation(
+                    backend, tolerance=self.config.tolerance
+                )
+            if strategy == "support":
+                return support_initialisation(backend)
+            return self._initial_parameters(backend, rng)
+
+        return _init
+
     def _initial_parameters(
-        self, problem: SensingProblem, rng: np.random.Generator
+        self, backend: DenseBackend, rng: np.random.Generator
     ) -> SourceParameters:
         if self.initial_parameters is not None:
-            if self.initial_parameters.n_sources != problem.n_sources:
+            if self.initial_parameters.n_sources != backend.n_sources:
                 raise ValidationError(
                     "initial_parameters describe "
                     f"{self.initial_parameters.n_sources} sources but the "
-                    f"problem has {problem.n_sources}"
+                    f"problem has {backend.n_sources}"
                 )
             return self.initial_parameters.clamp(self.config.epsilon)
-        return SourceParameters.random(problem.n_sources, rng).clamp(
-            self.config.epsilon
-        )
-
-    def _support_initialisation(self, problem: SensingProblem) -> SourceParameters:
-        """Seed parameters from a dependency-discounted vote posterior.
-
-        The initial posterior grows affinely with *independent* support,
-        ``Z_j = 0.2 + 0.6 · support_j / max_support``, then one M-step
-        turns it into source parameters.  Counting only independent
-        claims keeps viral cascades (which the model has not yet judged)
-        from branding their assertions credible before the first
-        iteration; the EM loop then learns from the dependent claims
-        whatever they actually carry.
-        """
-        sc = problem.claims.values.astype(np.float64)
-        indep = 1.0 - problem.dependency.values.astype(np.float64)
-        support = (sc * indep).sum(axis=0)
-        top = float(support.max()) if support.size else 0.0
-        if top > 0:
-            posterior = 0.2 + 0.6 * support / top
-        else:
-            posterior = np.full(problem.n_assertions, 0.5)
-        neutral = SourceParameters.from_scalars(
-            problem.n_sources, a=0.55, b=0.45, f=0.55, g=0.45, z=0.5
-        )
-        dep = problem.dependency.values.astype(np.float64)
-        return self._m_step(sc, dep, posterior, neutral)
-
-    def _staged_initialisation(
-        self, problem: SensingProblem, stage_iterations: int = 40
-    ) -> SourceParameters:
-        """Fit the nested independent-cells model, then enrich with f, g.
-
-        Stage one is a compact masked EM over independent cells only
-        (the EM-Social view), warm-started from the support posterior.
-        Stage two takes stage one's converged posterior and performs one
-        full dependency-aware M-step, which *measures* the dependent
-        emission rates against a posterior that is already anchored in
-        the independent evidence.
-        """
-        sc = problem.claims.values.astype(np.float64)
-        dep = problem.dependency.values.astype(np.float64)
-        indep = 1.0 - dep
-        support = (sc * indep).sum(axis=0)
-        top = float(support.max()) if support.size else 0.0
-        if top > 0:
-            posterior = 0.2 + 0.6 * support / top
-        else:
-            posterior = np.full(problem.n_assertions, 0.5)
-        eps = self.config.epsilon
-        n = problem.n_sources
-        t_rate = np.full(n, 0.55)
-        b_rate = np.full(n, 0.45)
-        z = 0.5
-        smoothing = self.config.smoothing
-        for _ in range(stage_iterations):
-            # M-step over independent cells only.
-            def _rate(weight: np.ndarray, previous: np.ndarray) -> np.ndarray:
-                numerator = (sc * indep) @ weight
-                denominator = indep @ weight
-                pooled_den = float(denominator.sum())
-                pooled = (
-                    float(numerator.sum()) / pooled_den if pooled_den > 0 else 0.5
-                )
-                numerator = numerator + smoothing * pooled
-                denominator = denominator + smoothing
-                with np.errstate(invalid="ignore", divide="ignore"):
-                    ratio = numerator / denominator
-                return np.clip(
-                    np.where(denominator > 0, ratio, previous), eps, 1.0 - eps
-                )
-
-            t_rate = _rate(posterior, t_rate)
-            b_rate = _rate(1.0 - posterior, b_rate)
-            z = float(np.clip(posterior.mean(), eps, 1.0 - eps)) if posterior.size else z
-            # E-step over independent cells only.
-            log_true = (
-                indep * (sc * np.log(t_rate)[:, None] + (1 - sc) * np.log1p(-t_rate)[:, None])
-            ).sum(axis=0)
-            log_false = (
-                indep * (sc * np.log(b_rate)[:, None] + (1 - sc) * np.log1p(-b_rate)[:, None])
-            ).sum(axis=0)
-            joint_true = log_true + np.log(z)
-            joint_false = log_false + np.log1p(-z)
-            peak = np.maximum(joint_true, joint_false)
-            numerator = np.exp(joint_true - peak)
-            new_posterior = numerator / (numerator + np.exp(joint_false - peak))
-            if np.max(np.abs(new_posterior - posterior)) < self.config.tolerance:
-                posterior = new_posterior
-                break
-            posterior = new_posterior
-        neutral = SourceParameters(a=t_rate, b=b_rate, f=t_rate, g=b_rate, z=z)
-        return self._m_step(sc, dep, posterior, neutral)
-
-    def _run_once(
-        self, problem: SensingProblem, params: SourceParameters
-    ) -> EstimationResult:
-        trace = ParameterTrace()
-        sc = problem.claims.values.astype(np.float64)
-        dep = problem.dependency.values.astype(np.float64)
-        converged = False
-        posterior = posterior_truth(problem, params)
-        for _ in range(self.config.max_iterations):
-            new_params = self._m_step(sc, dep, posterior, params)
-            delta = new_params.max_difference(params)
-            params = new_params
-            posterior = posterior_truth(problem, params)
-            trace.record(data_log_likelihood(problem, params), delta)
-            if delta < self.config.tolerance:
-                converged = True
-                break
-        decisions = (posterior >= 0.5).astype(np.int8)
-        return EstimationResult(
-            algorithm=self.algorithm_name,
-            scores=posterior,
-            decisions=decisions,
-            parameters=params,
-            log_likelihood=trace.log_likelihoods[-1] if trace.n_iterations else data_log_likelihood(problem, params),
-            converged=converged,
-            n_iterations=trace.n_iterations,
-            trace=trace,
-        )
-
-    def _m_step(
-        self,
-        sc: np.ndarray,
-        dep: np.ndarray,
-        posterior: np.ndarray,
-        previous: SourceParameters,
-    ) -> SourceParameters:
-        """Equations (10)–(14), vectorised.
-
-        For each source ``i`` the updates are ratios of posterior mass
-        over the four cell partitions; e.g. Equation (10):
-
-        .. math::
-            a_i = \\frac{\\sum_{j: SC_{ij}=1, D_{ij}=0} Z_j}
-                        {\\sum_{j: D_{ij}=0} Z_j}
-
-        The denominator runs over the union
-        :math:`S_iC_1^{D_0} \\cup S_iC_0^{D_0}` — all independent cells.
-        """
-        z_post = posterior  # Z_j = P(C_j = 1 | ·)
-        y_post = 1.0 - posterior  # Y_j = P(C_j = 0 | ·)
-        indep = 1.0 - dep
-        smoothing = self.config.smoothing
-
-        def _ratio(weight: np.ndarray, mask: np.ndarray, fallback: np.ndarray) -> np.ndarray:
-            numerator = (sc * mask) @ weight
-            denominator = mask @ weight
-            pooled_den = float(denominator.sum())
-            pooled = float(numerator.sum()) / pooled_den if pooled_den > 0 else 0.5
-            numerator = numerator + smoothing * pooled
-            denominator = denominator + smoothing
-            with np.errstate(invalid="ignore", divide="ignore"):
-                ratio = numerator / denominator
-            return np.where(denominator > 0, ratio, fallback)
-
-        a = _ratio(z_post, indep, previous.a)
-        f = _ratio(z_post, dep, previous.f)
-        b = _ratio(y_post, indep, previous.b)
-        g = _ratio(y_post, dep, previous.g)
-        z = float(z_post.mean()) if z_post.size else previous.z
-        return SourceParameters(a=a, b=b, f=f, g=g, z=z).clamp(self.config.epsilon)
+        return backend.random_params(rng)
 
 
 def run_em_ext(
@@ -350,10 +209,16 @@ def run_em_ext(
     max_iterations: int = 200,
     tolerance: float = 1e-6,
     n_restarts: int = 1,
+    smoothing: float = 0.0,
+    init_strategy: str = "staged",
 ) -> EstimationResult:
     """One-call convenience wrapper around :class:`EMExtEstimator`."""
     config = EMConfig(
-        max_iterations=max_iterations, tolerance=tolerance, n_restarts=n_restarts
+        max_iterations=max_iterations,
+        tolerance=tolerance,
+        n_restarts=n_restarts,
+        smoothing=smoothing,
+        init_strategy=init_strategy,
     )
     return EMExtEstimator(config, seed=seed).fit(problem)
 

@@ -21,7 +21,7 @@ estimator (which infers it) operate on.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 

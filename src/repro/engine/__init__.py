@@ -1,0 +1,66 @@
+"""Shared estimation engine behind every EM family in the library.
+
+The paper's EM-Ext (Section IV, Equations 9–14) used to be implemented
+four separate times — dense, sparse, streaming and the masked
+independence baselines — each with its own copy of the M-step ratio,
+hierarchical smoothing, initialisation and convergence loop.  This
+package is the single implementation they all delegate to:
+
+* :mod:`repro.engine.statistics` — the Equations 10–14 ratio kernel
+  (:func:`ratio_update`: pooled-rate smoothing, empty-partition
+  fallback) and the :class:`SufficientStatistics` accumulator whose
+  decayed form powers the streaming estimator;
+* :mod:`repro.engine.backends` — interchangeable computation backends:
+  :class:`DenseBackend` (ndarray), :class:`CSRBackend` (scipy sparse)
+  and :class:`MaskedDenseBackend` (the two-parameter independence
+  model with a cell mask);
+* :mod:`repro.engine.initialisation` — the ``support`` / ``staged`` /
+  ``random`` warm starts, written once and parameterised by backend;
+* :mod:`repro.engine.driver` — the generic :class:`EMDriver` owning
+  restarts, tolerance/max-iteration convergence,
+  :class:`~repro.core.model.ParameterTrace` recording and
+  per-iteration telemetry callbacks (:class:`IterationEvent`,
+  :class:`TelemetryRecorder`).
+
+Every future performance PR (batched multi-problem fitting, numba or
+multiprocessing backends) lands here, behind the same backend
+protocol, and all four public estimators pick it up for free.
+"""
+
+from repro.engine.backends import CSRBackend, DenseBackend, MaskedDenseBackend
+from repro.engine.driver import (
+    DriverOutcome,
+    EMDriver,
+    IterationEvent,
+    TelemetryRecorder,
+)
+from repro.engine.initialisation import (
+    staged_initialisation,
+    support_initialisation,
+    support_posterior,
+)
+from repro.engine.statistics import (
+    RATE_NAMES,
+    SufficientStatistics,
+    log_likelihood_from_columns,
+    ratio_update,
+    stable_posterior,
+)
+
+__all__ = [
+    "CSRBackend",
+    "DenseBackend",
+    "DriverOutcome",
+    "EMDriver",
+    "IterationEvent",
+    "MaskedDenseBackend",
+    "RATE_NAMES",
+    "SufficientStatistics",
+    "TelemetryRecorder",
+    "log_likelihood_from_columns",
+    "ratio_update",
+    "stable_posterior",
+    "staged_initialisation",
+    "support_initialisation",
+    "support_posterior",
+]

@@ -1,0 +1,449 @@
+"""Interchangeable computation backends for the estimation engine.
+
+A backend owns one representation of the source-claim data and exposes
+the operations the :class:`~repro.engine.driver.EMDriver` and the
+initialisation strategies need:
+
+=====================  ====================================================
+``m_step``             Equations 10–14 via :func:`~repro.engine.statistics.ratio_update`
+``e_step``             Equation 9 posterior + observed-data log likelihood
+``posterior``          Equation 9 posterior only
+``support_counts``     per-assertion independent-claim support
+``masked_rate`` /      the nested independence model over unmasked cells
+``masked_log_likelihoods``  (stage one of the staged initialisation)
+``neutral`` /          parameter construction for warm starts and
+``random_params``      random restarts
+=====================  ====================================================
+
+Three backends cover the library: :class:`DenseBackend` (ndarray),
+:class:`CSRBackend` (scipy sparse, touching only stored entries) and
+:class:`MaskedDenseBackend` (the two-parameter independence model used
+by the EM / EM-Social baselines).  Dense and CSR produce the same
+fixed points; they differ only in float summation order.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.likelihood import data_log_likelihood, posterior_truth
+from repro.core.matrix import SensingProblem
+from repro.core.model import DEFAULT_EPSILON, SourceParameters
+from repro.engine.statistics import (
+    CountMap,
+    log_likelihood_from_columns,
+    ratio_update,
+    stable_posterior,
+)
+from repro.utils.errors import ValidationError
+
+
+class DenseBackend:
+    """Dense ndarray backend for the dependency-aware model."""
+
+    def __init__(
+        self,
+        problem: SensingProblem,
+        *,
+        smoothing: float = 0.0,
+        epsilon: float = DEFAULT_EPSILON,
+    ):
+        self.problem = problem
+        self.smoothing = smoothing
+        self.epsilon = epsilon
+        self.sc = problem.claims.values.astype(np.float64)
+        self.dep = problem.dependency.values.astype(np.float64)
+        self.indep = 1.0 - self.dep
+
+    @property
+    def n_sources(self) -> int:
+        return self.sc.shape[0]
+
+    @property
+    def n_assertions(self) -> int:
+        return self.sc.shape[1]
+
+    # -- parameter construction --------------------------------------------------
+
+    def neutral(self) -> SourceParameters:
+        """The symmetry-breaking neutral start shared by all warm starts."""
+        return SourceParameters.from_scalars(
+            self.n_sources, a=0.55, b=0.45, f=0.55, g=0.45, z=0.5
+        )
+
+    def random_params(self, rng: np.random.Generator) -> SourceParameters:
+        """A random informative draw (the paper's random initialisation)."""
+        return SourceParameters.random(self.n_sources, rng).clamp(self.epsilon)
+
+    # -- EM steps ----------------------------------------------------------------
+
+    def support_counts(self) -> np.ndarray:
+        """Per-assertion count of *independent* supporting claims."""
+        return (self.sc * self.indep).sum(axis=0)
+
+    def m_step(
+        self, posterior: np.ndarray, previous: SourceParameters
+    ) -> SourceParameters:
+        """Equations (10)–(14), vectorised.
+
+        For each source ``i`` the updates are ratios of posterior mass
+        over the four cell partitions; e.g. Equation (10):
+
+        .. math::
+            a_i = \\frac{\\sum_{j: SC_{ij}=1, D_{ij}=0} Z_j}
+                        {\\sum_{j: D_{ij}=0} Z_j}
+
+        The denominator runs over the union
+        :math:`S_iC_1^{D_0} \\cup S_iC_0^{D_0}` — all independent cells.
+        """
+        z_post = posterior  # Z_j = P(C_j = 1 | ·)
+        y_post = 1.0 - posterior  # Y_j = P(C_j = 0 | ·)
+
+        def _ratio(weight, mask, fallback):
+            return ratio_update(
+                (self.sc * mask) @ weight,
+                mask @ weight,
+                smoothing=self.smoothing,
+                fallback=fallback,
+            )
+
+        a = _ratio(z_post, self.indep, previous.a)
+        f = _ratio(z_post, self.dep, previous.f)
+        b = _ratio(y_post, self.indep, previous.b)
+        g = _ratio(y_post, self.dep, previous.g)
+        z = float(z_post.mean()) if z_post.size else previous.z
+        return SourceParameters(a=a, b=b, f=f, g=g, z=z).clamp(self.epsilon)
+
+    def posterior(self, params: SourceParameters) -> np.ndarray:
+        """Equation (9) truth posterior for every assertion."""
+        return posterior_truth(self.problem, params)
+
+    def e_step(
+        self, params: SourceParameters
+    ) -> Tuple[np.ndarray, float]:
+        """Posterior plus the observed-data log likelihood (Equation 7)."""
+        return (
+            posterior_truth(self.problem, params),
+            data_log_likelihood(self.problem, params),
+        )
+
+    def partition_counts(
+        self, posterior: np.ndarray
+    ) -> Tuple[CountMap, Tuple[float, float]]:
+        """Raw (numerator, denominator) counts of the four M-step ratios.
+
+        The streaming estimator accumulates these into its decayed
+        :class:`~repro.engine.statistics.SufficientStatistics`.
+        """
+        y_posterior = 1.0 - posterior
+        counts = {
+            "a": ((self.sc * self.indep) @ posterior, self.indep @ posterior),
+            "f": ((self.sc * self.dep) @ posterior, self.dep @ posterior),
+            "b": ((self.sc * self.indep) @ y_posterior, self.indep @ y_posterior),
+            "g": ((self.sc * self.dep) @ y_posterior, self.dep @ y_posterior),
+        }
+        return counts, (float(posterior.sum()), float(posterior.size))
+
+    # -- nested independence model over independent cells (staged init) ----------
+
+    def masked_rate(self, weight: np.ndarray, previous: np.ndarray) -> np.ndarray:
+        """One independence-model rate over independent cells only."""
+        ratio = ratio_update(
+            (self.sc * self.indep) @ weight,
+            self.indep @ weight,
+            smoothing=self.smoothing,
+            fallback=previous,
+        )
+        return np.clip(ratio, self.epsilon, 1.0 - self.epsilon)
+
+    def masked_log_likelihoods(
+        self, t_rate: np.ndarray, b_rate: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Column log likelihoods of the independence model, masked to independent cells."""
+        log_true = (
+            self.indep
+            * (
+                self.sc * np.log(t_rate)[:, None]
+                + (1 - self.sc) * np.log1p(-t_rate)[:, None]
+            )
+        ).sum(axis=0)
+        log_false = (
+            self.indep
+            * (
+                self.sc * np.log(b_rate)[:, None]
+                + (1 - self.sc) * np.log1p(-b_rate)[:, None]
+            )
+        ).sum(axis=0)
+        return log_true, log_false
+
+
+class CSRBackend:
+    """Sparse (CSR) backend: every E- and M-step quantity is a sparse mat-vec.
+
+    E-step decomposition (per assertion column ``j``, truth value true):
+
+    .. math::
+        \\log P(SC_j | C_j = 1) = \\underbrace{\\sum_i \\log(1 - a_i)}_{base}
+            + \\sum_{i: D_{ij}=1} \\big(\\log(1-f_i) - \\log(1-a_i)\\big)
+            + \\sum_{i: SC_{ij}=1, D_{ij}=0} \\big(\\log a_i - \\log(1-a_i)\\big)
+            + \\sum_{i: SC_{ij}=1, D_{ij}=1} \\big(\\log f_i - \\log(1-f_i)\\big)
+
+    i.e. one scalar plus three sparse-matrix transpose products.  The
+    false-branch term is identical with ``(b, g)``.  M-step ratios
+    become, e.g.
+
+    .. math::
+        a_i = \\frac{(SC \\odot (1-D))\\, Z}{(\\mathbf{1} - D)\\, Z}
+            = \\frac{(SC - SC \\odot D)\\, Z}{\\sum_j Z_j - D\\, Z}
+
+    which again touch only stored entries.
+    """
+
+    def __init__(
+        self,
+        problem,
+        *,
+        smoothing: float = 0.0,
+        epsilon: float = DEFAULT_EPSILON,
+    ):
+        self.problem = problem
+        self.smoothing = smoothing
+        self.epsilon = epsilon
+        sc = problem.claims
+        self.dep = problem.dependency
+        self.sc_dep = sc.multiply(self.dep).tocsr()  # dependent claims
+        self.sc_indep = (sc - self.sc_dep).tocsr()  # independent claims
+
+    @property
+    def n_sources(self) -> int:
+        return self.dep.shape[0]
+
+    @property
+    def n_assertions(self) -> int:
+        return self.dep.shape[1]
+
+    # -- parameter construction --------------------------------------------------
+
+    def neutral(self) -> SourceParameters:
+        return SourceParameters.from_scalars(
+            self.n_sources, a=0.55, b=0.45, f=0.55, g=0.45, z=0.5
+        )
+
+    def random_params(self, rng: np.random.Generator) -> SourceParameters:
+        raise ValidationError(
+            "the CSR backend does not support random initialisation"
+        )
+
+    # -- EM steps ----------------------------------------------------------------
+
+    def support_counts(self) -> np.ndarray:
+        return np.asarray(self.sc_indep.sum(axis=0)).ravel()
+
+    def m_step(
+        self, posterior: np.ndarray, previous: SourceParameters
+    ) -> SourceParameters:
+        z_mass = posterior
+        y_mass = 1.0 - posterior
+        z_total = float(z_mass.sum())
+        y_total = float(y_mass.sum())
+
+        def _ratio(matrix, weight, weight_total, fallback, dependent):
+            numerator = np.asarray(matrix @ weight).ravel()
+            dep_weight = np.asarray(self.dep @ weight).ravel()
+            if dependent:
+                denominator = dep_weight
+            else:
+                denominator = weight_total - dep_weight
+            # The subtracted denominator can undershoot the numerator
+            # by float rounding; clip_ratio keeps the update a rate.
+            return ratio_update(
+                numerator,
+                denominator,
+                smoothing=self.smoothing,
+                fallback=fallback,
+                clip_ratio=True,
+            )
+
+        a = _ratio(self.sc_indep, z_mass, z_total, previous.a, False)
+        f = _ratio(self.sc_dep, z_mass, z_total, previous.f, True)
+        b = _ratio(self.sc_indep, y_mass, y_total, previous.b, False)
+        g = _ratio(self.sc_dep, y_mass, y_total, previous.g, True)
+        z = float(posterior.mean()) if posterior.size else previous.z
+        return SourceParameters(a=a, b=b, f=f, g=g, z=z).clamp(self.epsilon)
+
+    def _column_log_likelihoods(
+        self, params: SourceParameters
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        log_a, log_1a = np.log(params.a), np.log1p(-params.a)
+        log_b, log_1b = np.log(params.b), np.log1p(-params.b)
+        log_f, log_1f = np.log(params.f), np.log1p(-params.f)
+        log_g, log_1g = np.log(params.g), np.log1p(-params.g)
+        dep_t = self.dep.T
+        indep_t = self.sc_indep.T
+        dep_claims_t = self.sc_dep.T
+        log_true = (
+            float(log_1a.sum())
+            + np.asarray(dep_t @ (log_1f - log_1a)).ravel()
+            + np.asarray(indep_t @ (log_a - log_1a)).ravel()
+            + np.asarray(dep_claims_t @ (log_f - log_1f)).ravel()
+        )
+        log_false = (
+            float(log_1b.sum())
+            + np.asarray(dep_t @ (log_1g - log_1b)).ravel()
+            + np.asarray(indep_t @ (log_b - log_1b)).ravel()
+            + np.asarray(dep_claims_t @ (log_g - log_1g)).ravel()
+        )
+        return log_true, log_false
+
+    def posterior(self, params: SourceParameters) -> np.ndarray:
+        log_true, log_false = self._column_log_likelihoods(params)
+        return stable_posterior(log_true, log_false, params.z)
+
+    def e_step(
+        self, params: SourceParameters
+    ) -> Tuple[np.ndarray, float]:
+        log_true, log_false = self._column_log_likelihoods(params)
+        posterior = stable_posterior(log_true, log_false, params.z)
+        log_likelihood = log_likelihood_from_columns(log_true, log_false, params.z)
+        return posterior, log_likelihood
+
+    # -- nested independence model over independent cells (staged init) ----------
+
+    def masked_rate(self, weight: np.ndarray, previous: np.ndarray) -> np.ndarray:
+        numerator = np.asarray(self.sc_indep @ weight).ravel()
+        total = float(weight.sum())
+        denominator = total - np.asarray(self.dep @ weight).ravel()
+        ratio = ratio_update(
+            numerator,
+            denominator,
+            smoothing=self.smoothing,
+            fallback=previous,
+        )
+        return np.clip(ratio, self.epsilon, 1.0 - self.epsilon)
+
+    def masked_log_likelihoods(
+        self, t_rate: np.ndarray, b_rate: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        log_t, log_1t = np.log(t_rate), np.log1p(-t_rate)
+        log_b, log_1b = np.log(b_rate), np.log1p(-b_rate)
+        base_true = float(log_1t.sum())
+        base_false = float(log_1b.sum())
+        # Remove dependent (masked) cells from the base, add claims.
+        dep_t = self.dep.T
+        sc_t = self.sc_indep.T
+        log_true = base_true - np.asarray(dep_t @ log_1t).ravel() + np.asarray(
+            sc_t @ (log_t - log_1t)
+        ).ravel()
+        log_false = base_false - np.asarray(dep_t @ log_1b).ravel() + np.asarray(
+            sc_t @ (log_b - log_1b)
+        ).ravel()
+        return log_true, log_false
+
+
+class MaskedDenseBackend:
+    """Dense backend for the two-parameter independence model.
+
+    Masked cells contribute to neither the likelihood nor the M-step
+    counts — they are treated as *missing*, not as non-claims.  The
+    EM (IPSN 2012) baseline is the special case of an all-ones mask;
+    EM-Social (IPSN 2014) masks out every dependent cell.
+
+    Parameters are :class:`~repro.baselines.em_independent.IndependentParameters`
+    (per-source ``t, b`` plus the prior ``z``), not the full
+    :class:`~repro.core.model.SourceParameters`.
+    """
+
+    def __init__(
+        self,
+        sc: np.ndarray,
+        mask: np.ndarray,
+        *,
+        smoothing: float = 0.0,
+        epsilon: float = DEFAULT_EPSILON,
+    ):
+        if mask.shape != sc.shape:
+            raise ValidationError(
+                f"mask shape {mask.shape} does not match claims {sc.shape}"
+            )
+        self.sc = sc
+        self.mask = mask
+        self.smoothing = smoothing
+        self.epsilon = epsilon
+
+    @property
+    def n_sources(self) -> int:
+        return self.sc.shape[0]
+
+    @property
+    def n_assertions(self) -> int:
+        return self.sc.shape[1]
+
+    # -- parameter construction --------------------------------------------------
+
+    def neutral(self):
+        from repro.baselines.em_independent import IndependentParameters
+
+        return IndependentParameters(
+            t=np.full(self.n_sources, 0.55),
+            b=np.full(self.n_sources, 0.45),
+            z=0.5,
+        )
+
+    def random_params(self, rng: np.random.Generator):
+        from repro.baselines.em_independent import IndependentParameters
+
+        return IndependentParameters(
+            t=rng.uniform(0.4, 0.8, size=self.n_sources),
+            b=rng.uniform(0.05, 0.35, size=self.n_sources),
+            z=float(rng.uniform(0.3, 0.7)),
+        ).clamp(self.epsilon)
+
+    # -- EM steps ----------------------------------------------------------------
+
+    def support_counts(self) -> np.ndarray:
+        return (self.sc * self.mask).sum(axis=0)
+
+    def m_step(self, posterior: np.ndarray, previous):
+        from repro.baselines.em_independent import IndependentParameters
+
+        z_post = posterior
+        y_post = 1.0 - posterior
+
+        def _ratio(weight, fallback):
+            return ratio_update(
+                (self.sc * self.mask) @ weight,
+                self.mask @ weight,
+                smoothing=self.smoothing,
+                fallback=fallback,
+            )
+
+        t = _ratio(z_post, previous.t)
+        b = _ratio(y_post, previous.b)
+        z = float(z_post.mean()) if z_post.size else previous.z
+        return IndependentParameters(t=t, b=b, z=z).clamp(self.epsilon)
+
+    def _column_log_likelihoods(self, params) -> Tuple[np.ndarray, np.ndarray]:
+        log_t, log_1t = np.log(params.t), np.log1p(-params.t)
+        log_b, log_1b = np.log(params.b), np.log1p(-params.b)
+        log_true = self.mask * (
+            self.sc * log_t[:, None] + (1 - self.sc) * log_1t[:, None]
+        )
+        log_false = self.mask * (
+            self.sc * log_b[:, None] + (1 - self.sc) * log_1b[:, None]
+        )
+        return log_true.sum(axis=0), log_false.sum(axis=0)
+
+    def posterior(self, params) -> np.ndarray:
+        log_true, log_false = self._column_log_likelihoods(params)
+        return stable_posterior(log_true, log_false, params.z)
+
+    def e_step(self, params) -> Tuple[np.ndarray, float]:
+        log_true, log_false = self._column_log_likelihoods(params)
+        posterior = stable_posterior(log_true, log_false, params.z)
+        log_likelihood = log_likelihood_from_columns(log_true, log_false, params.z)
+        return posterior, log_likelihood
+
+
+__all__ = ["CSRBackend", "DenseBackend", "MaskedDenseBackend"]

@@ -1,0 +1,205 @@
+"""The generic EM driver: restarts, convergence, tracing, telemetry.
+
+:class:`EMDriver` owns the loop every EM family in the library shares
+(Algorithm 2's "while {θ} are not convergent"): M-step, parameter
+delta, E-step, :class:`~repro.core.model.ParameterTrace` recording,
+tolerance/max-iteration convergence and multi-restart selection by
+observed-data log likelihood.  The numerical work is delegated to a
+backend from :mod:`repro.engine.backends`.
+
+Telemetry
+---------
+Callbacks receive one :class:`IterationEvent` per EM iteration —
+iteration index, parameter delta, log likelihood and wall-clock
+duration — so harnesses and diagnostics can observe convergence
+without poking at estimator internals.  A callback that returns a
+truthy value requests an early stop: the loop ends after the current
+iteration with ``converged=False`` (unless the iteration also met the
+tolerance).  :class:`TelemetryRecorder` is the batteries-included
+callback that accumulates events across runs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.model import ParameterTrace
+from repro.utils.rng import RandomState, SeedLike, spawn_rngs
+
+#: Per-iteration callback; a truthy return value requests an early stop.
+IterationCallback = Callable[["IterationEvent"], Optional[bool]]
+
+
+@dataclass(frozen=True)
+class IterationEvent:
+    """One EM iteration as seen by telemetry callbacks."""
+
+    iteration: int
+    delta: float
+    log_likelihood: float
+    duration_seconds: float
+
+
+class TelemetryRecorder:
+    """Callback that accumulates :class:`IterationEvent` records.
+
+    One recorder may be shared across many estimator runs (e.g. every
+    trial of a simulation); it simply concatenates events.
+    """
+
+    def __init__(self) -> None:
+        self.events: List[IterationEvent] = []
+
+    def __call__(self, event: IterationEvent) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def n_iterations(self) -> int:
+        """Total EM iterations observed."""
+        return len(self.events)
+
+    @property
+    def total_seconds(self) -> float:
+        """Total wall-clock time spent inside EM iterations."""
+        return float(sum(e.duration_seconds for e in self.events))
+
+    @property
+    def mean_iteration_seconds(self) -> float:
+        """Mean wall-clock time per EM iteration."""
+        if not self.events:
+            return float("nan")
+        return self.total_seconds / len(self.events)
+
+    def clear(self) -> None:
+        """Drop all accumulated events."""
+        self.events.clear()
+
+
+@dataclass
+class DriverOutcome:
+    """Everything one converged (or exhausted) EM run produced."""
+
+    parameters: object
+    posterior: np.ndarray
+    trace: ParameterTrace
+    converged: bool
+
+    @property
+    def n_iterations(self) -> int:
+        return self.trace.n_iterations
+
+    @property
+    def log_likelihood(self) -> float:
+        return (
+            self.trace.log_likelihoods[-1]
+            if self.trace.n_iterations
+            else float("nan")
+        )
+
+    @property
+    def decisions(self) -> np.ndarray:
+        """0.5-threshold truth labels from the posterior."""
+        return (self.posterior >= 0.5).astype(np.int8)
+
+
+class EMDriver:
+    """Backend-agnostic EM loop with restarts and telemetry hooks."""
+
+    def __init__(
+        self,
+        *,
+        max_iterations: int,
+        tolerance: float,
+        n_restarts: int = 1,
+        callbacks: Sequence[IterationCallback] = (),
+    ):
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.n_restarts = n_restarts
+        self.callbacks = tuple(callbacks)
+
+    @classmethod
+    def from_config(
+        cls, config, callbacks: Sequence[IterationCallback] = ()
+    ) -> "EMDriver":
+        """Build from an :class:`~repro.core.em_ext.EMConfig`."""
+        return cls(
+            max_iterations=config.max_iterations,
+            tolerance=config.tolerance,
+            n_restarts=config.n_restarts,
+            callbacks=callbacks,
+        )
+
+    def run(self, backend, params) -> DriverOutcome:
+        """One EM run from ``params`` to a fixed point (or the iteration cap)."""
+        trace = ParameterTrace()
+        posterior = backend.posterior(params)
+        converged = False
+        for iteration in range(self.max_iterations):
+            start = time.perf_counter()
+            new_params = backend.m_step(posterior, params)
+            delta = new_params.max_difference(params)
+            params = new_params
+            posterior, log_likelihood = backend.e_step(params)
+            trace.record(log_likelihood, delta)
+            duration = time.perf_counter() - start
+            stop_requested = False
+            for callback in self.callbacks:
+                if callback(
+                    IterationEvent(
+                        iteration=iteration,
+                        delta=delta,
+                        log_likelihood=log_likelihood,
+                        duration_seconds=duration,
+                    )
+                ):
+                    stop_requested = True
+            if delta < self.tolerance:
+                converged = True
+                break
+            if stop_requested:
+                break
+        return DriverOutcome(
+            parameters=params,
+            posterior=posterior,
+            trace=trace,
+            converged=converged,
+        )
+
+    def fit(
+        self,
+        backend,
+        initialiser: Callable[[int, np.random.Generator], object],
+        seed: SeedLike = None,
+    ) -> DriverOutcome:
+        """Multi-restart EM; the best fixed point by log likelihood wins.
+
+        ``initialiser(index, rng)`` produces the starting parameters of
+        restart ``index`` (strategy-based for the first, typically
+        random for the rest).
+        """
+        rng = RandomState(seed)
+        best: Optional[DriverOutcome] = None
+        for index, restart_rng in enumerate(spawn_rngs(rng, self.n_restarts)):
+            params = initialiser(index, restart_rng)
+            candidate = self.run(backend, params)
+            if best is None or candidate.log_likelihood > best.log_likelihood:
+                best = candidate
+        assert best is not None  # n_restarts >= 1 by construction
+        return best
+
+
+__all__ = [
+    "DriverOutcome",
+    "EMDriver",
+    "IterationCallback",
+    "IterationEvent",
+    "TelemetryRecorder",
+]

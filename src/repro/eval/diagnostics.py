@@ -15,6 +15,7 @@ from typing import List, Sequence
 import numpy as np
 
 from repro.core.result import EstimationResult
+from repro.engine.driver import IterationEvent
 from repro.utils.errors import ValidationError
 
 
@@ -126,6 +127,53 @@ def em_diagnostics(result: EstimationResult) -> EMDiagnostics:
 
 
 # ---------------------------------------------------------------------------
+# Engine telemetry
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TelemetrySummary:
+    """Aggregate view of per-iteration engine telemetry.
+
+    Summarises the :class:`~repro.engine.driver.IterationEvent` stream a
+    :class:`~repro.engine.driver.TelemetryRecorder` collects — across
+    one EM run or across every run of a harness experiment point.
+    """
+
+    n_iterations: int
+    total_seconds: float
+    mean_iteration_seconds: float
+    max_iteration_seconds: float
+    final_delta: float
+    mean_log_likelihood_delta: float
+
+    @property
+    def iterations_per_second(self) -> float:
+        """Throughput of the EM loop (NaN when no time was recorded)."""
+        if self.total_seconds <= 0.0:
+            return float("nan")
+        return self.n_iterations / self.total_seconds
+
+
+def summarize_telemetry(events: Sequence[IterationEvent]) -> TelemetrySummary:
+    """Condense recorded iteration events into a :class:`TelemetrySummary`."""
+    if not events:
+        raise ValidationError("no telemetry events recorded")
+    durations = np.array([e.duration_seconds for e in events], dtype=np.float64)
+    lls = np.array([e.log_likelihood for e in events], dtype=np.float64)
+    ll_deltas = np.diff(lls)
+    return TelemetrySummary(
+        n_iterations=len(events),
+        total_seconds=float(durations.sum()),
+        mean_iteration_seconds=float(durations.mean()),
+        max_iteration_seconds=float(durations.max()),
+        final_delta=float(events[-1].delta),
+        mean_log_likelihood_delta=(
+            float(ll_deltas.mean()) if ll_deltas.size else 0.0
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
 # Posterior calibration
 # ---------------------------------------------------------------------------
 
@@ -198,10 +246,12 @@ def expected_calibration_error(
 __all__ = [
     "CalibrationBin",
     "EMDiagnostics",
+    "TelemetrySummary",
     "autocorrelation",
     "calibration_curve",
     "effective_sample_size",
     "em_diagnostics",
     "expected_calibration_error",
     "gelman_rubin",
+    "summarize_telemetry",
 ]

@@ -28,6 +28,7 @@ from repro.bounds import (
 )
 from repro.core.em_ext import EMConfig
 from repro.datasets import DATASET_ORDER, get_spec, simulate_dataset
+from repro.engine.driver import TelemetryRecorder
 from repro.eval.harness import SweepResult, run_sweep
 from repro.pipeline import SimulatedGrader, grade_top_k
 from repro.synthetic import GeneratorConfig, SyntheticGenerator, empirical_parameters
@@ -246,6 +247,7 @@ def _estimator_sweep(
     n_trials: Optional[int] = None,
     seed: SeedLike = 0,
     include_optimal: bool = True,
+    telemetry: Optional[TelemetryRecorder] = None,
 ) -> SweepResult:
     bound_config = (
         GibbsConfig(min_sweeps=400, max_sweeps=4000)
@@ -261,6 +263,7 @@ def _estimator_sweep(
         n_trials=n_trials if n_trials is not None else estimator_trials(),
         include_optimal=include_optimal,
         bound_config=bound_config,
+        telemetry=telemetry,
     )
 
 

@@ -18,6 +18,7 @@ import numpy as np
 from repro.baselines import make_fact_finder
 from repro.bounds import GibbsConfig, MAX_EXACT_SOURCES, exact_bound, gibbs_bound
 from repro.core.em_ext import EMConfig
+from repro.engine.driver import TelemetryRecorder
 from repro.eval.metrics import ClassificationMetrics, score_result
 from repro.synthetic import GeneratorConfig, SyntheticGenerator, empirical_parameters
 from repro.utils.errors import ValidationError
@@ -109,12 +110,18 @@ def run_simulation(
     bound_config: Optional[GibbsConfig] = None,
     em_config: Optional[EMConfig] = None,
     exact_limit: int = 20,
+    telemetry: Optional[TelemetryRecorder] = None,
 ) -> SimulationResult:
     """Run the Section V-B experiment loop at one parameter point.
 
     ``exact_limit`` selects the bound backend: exact enumeration up to
     that many sources, Gibbs above (both bounded by
     :data:`MAX_EXACT_SOURCES`).
+
+    ``telemetry`` (a :class:`~repro.engine.driver.TelemetryRecorder`, or
+    any per-iteration callback) is attached to every EM-family estimator
+    the harness constructs, so iteration timings and log-likelihood
+    deltas accumulate across all trials of the experiment point.
     """
     if n_trials <= 0:
         raise ValidationError(f"n_trials must be positive, got {n_trials}")
@@ -131,7 +138,7 @@ def run_simulation(
         blind = problem.without_truth()
         trial_seed = derive_seed(rng)
         for name in algorithms:
-            finder = _make(name, trial_seed, em_config)
+            finder = _make(name, trial_seed, em_config, telemetry)
             result = finder.fit(blind)
             series[name].record(score_result(result, problem.truth))
         if include_optimal:
@@ -141,11 +148,17 @@ def run_simulation(
     return SimulationResult(config=config, n_trials=n_trials, series=series)
 
 
-def _make(name: str, seed: int, em_config: Optional[EMConfig]):
+def _make(
+    name: str,
+    seed: int,
+    em_config: Optional[EMConfig],
+    telemetry: Optional[TelemetryRecorder] = None,
+):
+    callbacks = (telemetry,) if telemetry is not None else ()
     if name == "em-ext":
-        return make_fact_finder(name, seed=seed, config=em_config)
+        return make_fact_finder(name, seed=seed, config=em_config, callbacks=callbacks)
     if name in ("em", "em-social"):
-        kwargs = {"seed": seed}
+        kwargs = {"seed": seed, "callbacks": callbacks}
         if em_config is not None:
             kwargs["smoothing"] = em_config.smoothing
         return make_fact_finder(name, **kwargs)

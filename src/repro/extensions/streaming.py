@@ -7,52 +7,32 @@ batches (e.g. one batch per hour of a crawl), and the estimator updates
 its source parameters incrementally instead of refitting from scratch.
 
 Mechanism: the dependency-aware M-step is a ratio of posterior-weighted
-counts, so the model state is exactly eight sufficient-statistic
+counts, so the model state is exactly the engine's
+:class:`~repro.engine.statistics.SufficientStatistics` — eight count
 vectors (numerator/denominator for each of ``a, b, f, g``) plus the
-prior's counters.  Each batch contributes its counts; a forgetting
+prior's counters.  Each batch contributes the counts produced by the
+shared :class:`~repro.engine.backends.DenseBackend`; a forgetting
 factor ``decay`` exponentially discounts history so the estimator
-tracks sources whose behaviour drifts.
+tracks sources whose behaviour drifts.  The streaming estimator is
+therefore a thin decayed wrapper over the same accumulator the batch
+estimators use.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Optional
 
 import numpy as np
 
-from repro.core.likelihood import posterior_truth
 from repro.core.matrix import SensingProblem
 from repro.core.model import DEFAULT_EPSILON, SourceParameters
 from repro.core.result import EstimationResult
+from repro.engine.backends import DenseBackend
+from repro.engine.initialisation import support_posterior
+from repro.engine.statistics import SufficientStatistics
 from repro.utils.errors import ValidationError
 from repro.utils.rng import SeedLike
 from repro.utils.validation import check_positive_int
-
-
-@dataclass
-class _SufficientStatistics:
-    """Decayed posterior-weighted counts behind the M-step ratios."""
-
-    numerators: Dict[str, np.ndarray] = field(default_factory=dict)
-    denominators: Dict[str, np.ndarray] = field(default_factory=dict)
-    z_numerator: float = 0.0
-    z_denominator: float = 0.0
-
-    @classmethod
-    def zeros(cls, n_sources: int) -> "_SufficientStatistics":
-        names = ("a", "b", "f", "g")
-        return cls(
-            numerators={k: np.zeros(n_sources) for k in names},
-            denominators={k: np.zeros(n_sources) for k in names},
-        )
-
-    def decay(self, factor: float) -> None:
-        for name in self.numerators:
-            self.numerators[name] *= factor
-            self.denominators[name] *= factor
-        self.z_numerator *= factor
-        self.z_denominator *= factor
 
 
 class StreamingEMExt:
@@ -103,7 +83,7 @@ class StreamingEMExt:
             self.parameters = SourceParameters.from_scalars(
                 n_sources, a=0.55, b=0.45, f=0.55, g=0.45, z=0.5
             )
-        self._stats = _SufficientStatistics.zeros(n_sources)
+        self._stats = SufficientStatistics.zeros(n_sources)
         self.n_batches = 0
         self._seed = seed
 
@@ -119,24 +99,20 @@ class StreamingEMExt:
                 f"batch has {batch.n_sources} sources, stream expects "
                 f"{self.n_sources}"
             )
-        sc = batch.claims.values.astype(np.float64)
-        dep = batch.dependency.values.astype(np.float64)
-        indep = 1.0 - dep
+        backend = DenseBackend(batch, epsilon=self.epsilon)
         if self.n_batches == 0:
             # Cold start: the neutral parameters carry no signal yet, so
             # seed the first batch's posterior from dependency-discounted
-            # support (the same warm start EMExtEstimator uses).
-            support = (sc * indep).sum(axis=0)
-            top = float(support.max()) if support.size else 0.0
-            if top > 0:
-                posterior = 0.2 + 0.6 * support / top
-            else:
-                posterior = np.full(batch.n_assertions, 0.5)
+            # support (the same warm start the batch estimators use).
+            posterior = support_posterior(backend)
         else:
-            posterior = posterior_truth(batch, self.parameters)
+            posterior = backend.posterior(self.parameters)
         for _ in range(self.inner_iterations):
-            snapshot = self._merged_parameters(sc, dep, indep, posterior)
-            new_posterior = posterior_truth(batch, snapshot)
+            counts, z_counts = backend.partition_counts(posterior)
+            snapshot = self._stats.merged_rates(
+                counts, z_counts, self.decay, self.parameters, self.epsilon
+            )
+            new_posterior = backend.posterior(snapshot)
             delta = (
                 float(np.max(np.abs(new_posterior - posterior)))
                 if posterior.size
@@ -147,8 +123,9 @@ class StreamingEMExt:
                 break
         # Commit: decay history, add this batch's counts, refresh params.
         self._stats.decay(self.decay)
-        self._accumulate(sc, dep, indep, posterior)
-        self.parameters = self._parameters_from_stats()
+        counts, z_counts = backend.partition_counts(posterior)
+        self._stats.add(counts, z_counts)
+        self.parameters = self._stats.rates(self.parameters, self.epsilon)
         self.n_batches += 1
         decisions = (posterior >= 0.5).astype(np.int8)
         return EstimationResult(
@@ -159,61 +136,6 @@ class StreamingEMExt:
             converged=True,
             n_iterations=self.inner_iterations,
         )
-
-    # -- internals ---------------------------------------------------------------
-
-    def _batch_counts(self, sc, dep, indep, posterior):
-        y_posterior = 1.0 - posterior
-        return {
-            "a": ((sc * indep) @ posterior, indep @ posterior),
-            "f": ((sc * dep) @ posterior, dep @ posterior),
-            "b": ((sc * indep) @ y_posterior, indep @ y_posterior),
-            "g": ((sc * dep) @ y_posterior, dep @ y_posterior),
-        }, (float(posterior.sum()), float(posterior.size))
-
-    def _merged_parameters(self, sc, dep, indep, posterior) -> SourceParameters:
-        """Parameters from history + the current batch's soft counts."""
-        counts, (z_num, z_den) = self._batch_counts(sc, dep, indep, posterior)
-        rates = {}
-        for name, (num, den) in counts.items():
-            total_num = self._stats.numerators[name] * self.decay + num
-            total_den = self._stats.denominators[name] * self.decay + den
-            with np.errstate(invalid="ignore", divide="ignore"):
-                ratio = total_num / total_den
-            fallback = getattr(self.parameters, name)
-            rates[name] = np.where(total_den > 0, ratio, fallback)
-        z_total_num = self._stats.z_numerator * self.decay + z_num
-        z_total_den = self._stats.z_denominator * self.decay + z_den
-        z = z_total_num / z_total_den if z_total_den > 0 else self.parameters.z
-        return SourceParameters(
-            a=rates["a"], b=rates["b"], f=rates["f"], g=rates["g"], z=float(z)
-        ).clamp(self.epsilon)
-
-    def _accumulate(self, sc, dep, indep, posterior) -> None:
-        counts, (z_num, z_den) = self._batch_counts(sc, dep, indep, posterior)
-        for name, (num, den) in counts.items():
-            self._stats.numerators[name] += num
-            self._stats.denominators[name] += den
-        self._stats.z_numerator += z_num
-        self._stats.z_denominator += z_den
-
-    def _parameters_from_stats(self) -> SourceParameters:
-        rates = {}
-        for name in ("a", "b", "f", "g"):
-            num = self._stats.numerators[name]
-            den = self._stats.denominators[name]
-            with np.errstate(invalid="ignore", divide="ignore"):
-                ratio = num / den
-            fallback = getattr(self.parameters, name)
-            rates[name] = np.where(den > 0, ratio, fallback)
-        z = (
-            self._stats.z_numerator / self._stats.z_denominator
-            if self._stats.z_denominator > 0
-            else self.parameters.z
-        )
-        return SourceParameters(
-            a=rates["a"], b=rates["b"], f=rates["f"], g=rates["g"], z=float(z)
-        ).clamp(self.epsilon)
 
 
 __all__ = ["StreamingEMExt"]

@@ -16,7 +16,7 @@ ids with no algorithm attribution.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Sequence
+from typing import Dict, Mapping, Sequence
 
 from repro.core.result import FactFindingResult
 from repro.datasets.schema import AssertionLabel

@@ -1,38 +1,24 @@
 """Sparse dependency-aware EM for full-scale field data.
 
 Mathematically identical to :class:`repro.core.em_ext.EMExtEstimator`;
-reorganised so every E- and M-step quantity is a sparse mat-vec.
-
-E-step decomposition (per assertion column ``j``, truth value true):
-
-.. math::
-    \\log P(SC_j | C_j = 1) = \\underbrace{\\sum_i \\log(1 - a_i)}_{base}
-        + \\sum_{i: D_{ij}=1} \\big(\\log(1-f_i) - \\log(1-a_i)\\big)
-        + \\sum_{i: SC_{ij}=1, D_{ij}=0} \\big(\\log a_i - \\log(1-a_i)\\big)
-        + \\sum_{i: SC_{ij}=1, D_{ij}=1} \\big(\\log f_i - \\log(1-f_i)\\big)
-
-i.e. one scalar plus three sparse-matrix transpose products.  The
-false-branch term is identical with ``(b, g)``.
-
-M-step ratios become, e.g.
-
-.. math::
-    a_i = \\frac{(SC \\odot (1-D))\\, Z}{(\\mathbf{1} - D)\\, Z}
-        = \\frac{(SC - SC \\odot D)\\, Z}{\\sum_j Z_j - D\\, Z}
-
-which again touch only stored entries.  Hierarchical smoothing and the
-staged initialisation mirror the dense estimator.
+all numerical work is delegated to the shared estimation engine's
+:class:`~repro.engine.backends.CSRBackend`, which reorganises every
+E- and M-step quantity into sparse mat-vecs touching only stored
+entries (see its docstring for the base + corrections decomposition of
+the likelihood).  Hierarchical smoothing and the staged initialisation
+are the engine's shared implementations, so dense and sparse
+estimators cannot drift apart.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
-
-import numpy as np
+from typing import Optional, Sequence
 
 from repro.core.em_ext import EMConfig
-from repro.core.model import SourceParameters
 from repro.core.result import EstimationResult
+from repro.engine.backends import CSRBackend
+from repro.engine.driver import EMDriver, IterationCallback
+from repro.engine.initialisation import staged_initialisation, support_initialisation
 from repro.sparse.problem import SparseSensingProblem
 from repro.utils.errors import ValidationError
 
@@ -42,13 +28,20 @@ class SparseEMExt:
 
     Supports the ``"staged"`` and ``"support"`` initialisation
     strategies (``"random"`` would need per-cell randomness that defeats
-    the sparse representation's purpose and is rejected).
+    the sparse representation's purpose and is rejected).  The
+    estimator is deterministic, so ``n_restarts`` is ignored.
     """
 
     algorithm_name = "em-ext-sparse"
 
-    def __init__(self, config: Optional[EMConfig] = None):
+    def __init__(
+        self,
+        config: Optional[EMConfig] = None,
+        *,
+        callbacks: Sequence[IterationCallback] = (),
+    ):
         self.config = config or EMConfig()
+        self.callbacks = tuple(callbacks)
         if self.config.init_strategy == "random":
             raise ValidationError(
                 "SparseEMExt supports init_strategy 'staged' or 'support' only"
@@ -56,188 +49,31 @@ class SparseEMExt:
 
     def fit(self, problem: SparseSensingProblem) -> EstimationResult:
         """Run EM and return the standard estimation result."""
-        sc = problem.claims
-        dep = problem.dependency
-        sc_dep = sc.multiply(dep).tocsr()  # dependent claims
-        sc_indep = (sc - sc_dep).tocsr()  # independent claims
-        posterior = self._initial_posterior(sc_indep, problem.n_assertions)
-        params = self._neutral(problem.n_sources)
+        backend = CSRBackend(
+            problem,
+            smoothing=self.config.smoothing,
+            epsilon=self.config.epsilon,
+        )
         if self.config.init_strategy == "staged":
-            posterior, params = self._staged(sc_indep, sc_dep, dep, posterior, params)
+            params = staged_initialisation(backend, tolerance=self.config.tolerance)
         else:
-            params = self._m_step(sc_indep, sc_dep, dep, posterior, params)
-        posterior, _ = self._e_step(sc_indep, sc_dep, dep, params)
-        converged = False
-        n_iterations = 0
-        log_likelihoods = []
-        for n_iterations in range(1, self.config.max_iterations + 1):
-            new_params = self._m_step(sc_indep, sc_dep, dep, posterior, params)
-            delta = new_params.max_difference(params)
-            params = new_params
-            posterior, log_likelihood = self._e_step(sc_indep, sc_dep, dep, params)
-            log_likelihoods.append(log_likelihood)
-            if delta < self.config.tolerance:
-                converged = True
-                break
-        decisions = (posterior >= 0.5).astype(np.int8)
+            params = support_initialisation(backend)
+        driver = EMDriver(
+            max_iterations=self.config.max_iterations,
+            tolerance=self.config.tolerance,
+            callbacks=self.callbacks,
+        )
+        outcome = driver.run(backend, params)
         return EstimationResult(
             algorithm=self.algorithm_name,
-            scores=posterior,
-            decisions=decisions,
-            parameters=params,
-            log_likelihood=log_likelihoods[-1] if log_likelihoods else float("nan"),
-            converged=converged,
-            n_iterations=n_iterations,
+            scores=outcome.posterior,
+            decisions=outcome.decisions,
+            parameters=outcome.parameters,
+            log_likelihood=outcome.log_likelihood,
+            converged=outcome.converged,
+            n_iterations=outcome.n_iterations,
+            trace=outcome.trace,
         )
-
-    # -- internals ---------------------------------------------------------------
-
-    @staticmethod
-    def _neutral(n_sources: int) -> SourceParameters:
-        return SourceParameters.from_scalars(
-            n_sources, a=0.55, b=0.45, f=0.55, g=0.45, z=0.5
-        )
-
-    def _initial_posterior(self, sc_indep, n_assertions: int) -> np.ndarray:
-        support = np.asarray(sc_indep.sum(axis=0)).ravel()
-        top = float(support.max()) if support.size else 0.0
-        if top > 0:
-            return 0.2 + 0.6 * support / top
-        return np.full(n_assertions, 0.5)
-
-    def _staged(
-        self, sc_indep, sc_dep, dep, posterior: np.ndarray, params: SourceParameters
-    ) -> Tuple[np.ndarray, SourceParameters]:
-        """Stage one: independence model over independent cells only."""
-        eps = self.config.epsilon
-        n = params.n_sources
-        t_rate = np.full(n, 0.55)
-        b_rate = np.full(n, 0.45)
-        z = 0.5
-        dep_row_counts = np.asarray(dep.sum(axis=1)).ravel()
-        for _ in range(40):
-            t_rate = self._masked_rate(sc_indep, dep, dep_row_counts, posterior, t_rate)
-            b_rate = self._masked_rate(
-                sc_indep, dep, dep_row_counts, 1.0 - posterior, b_rate
-            )
-            z = float(np.clip(posterior.mean(), eps, 1 - eps)) if posterior.size else z
-            log_true, log_false = self._masked_column_loglik(
-                sc_indep, dep, t_rate, b_rate
-            )
-            new_posterior = _posterior(log_true, log_false, z)
-            if (
-                posterior.size
-                and np.max(np.abs(new_posterior - posterior)) < self.config.tolerance
-            ):
-                posterior = new_posterior
-                break
-            posterior = new_posterior
-        staged = SourceParameters(a=t_rate, b=b_rate, f=t_rate, g=b_rate, z=z)
-        params = self._m_step(sc_indep, sc_dep, dep, posterior, staged)
-        return posterior, params
-
-    def _masked_rate(
-        self, sc_indep, dep, dep_row_counts, weight: np.ndarray, previous: np.ndarray
-    ) -> np.ndarray:
-        eps = self.config.epsilon
-        smoothing = self.config.smoothing
-        numerator = np.asarray(sc_indep @ weight).ravel()
-        total = float(weight.sum())
-        denominator = total - np.asarray(dep @ weight).ravel()
-        pooled_den = float(denominator.sum())
-        pooled = float(numerator.sum()) / pooled_den if pooled_den > 0 else 0.5
-        numerator = numerator + smoothing * pooled
-        denominator = denominator + smoothing
-        with np.errstate(invalid="ignore", divide="ignore"):
-            ratio = numerator / denominator
-        return np.clip(np.where(denominator > 0, ratio, previous), eps, 1 - eps)
-
-    def _masked_column_loglik(self, sc_indep, dep, t_rate, b_rate):
-        log_t, log_1t = np.log(t_rate), np.log1p(-t_rate)
-        log_b, log_1b = np.log(b_rate), np.log1p(-b_rate)
-        base_true = float(log_1t.sum())
-        base_false = float(log_1b.sum())
-        # Remove dependent (masked) cells from the base, add claims.
-        dep_t = dep.T
-        sc_t = sc_indep.T
-        log_true = base_true - np.asarray(dep_t @ log_1t).ravel() + np.asarray(
-            sc_t @ (log_t - log_1t)
-        ).ravel()
-        log_false = base_false - np.asarray(dep_t @ log_1b).ravel() + np.asarray(
-            sc_t @ (log_b - log_1b)
-        ).ravel()
-        return log_true, log_false
-
-    def _e_step(self, sc_indep, sc_dep, dep, params: SourceParameters):
-        log_a, log_1a = np.log(params.a), np.log1p(-params.a)
-        log_b, log_1b = np.log(params.b), np.log1p(-params.b)
-        log_f, log_1f = np.log(params.f), np.log1p(-params.f)
-        log_g, log_1g = np.log(params.g), np.log1p(-params.g)
-        dep_t = dep.T
-        indep_t = sc_indep.T
-        dep_claims_t = sc_dep.T
-        log_true = (
-            float(log_1a.sum())
-            + np.asarray(dep_t @ (log_1f - log_1a)).ravel()
-            + np.asarray(indep_t @ (log_a - log_1a)).ravel()
-            + np.asarray(dep_claims_t @ (log_f - log_1f)).ravel()
-        )
-        log_false = (
-            float(log_1b.sum())
-            + np.asarray(dep_t @ (log_1g - log_1b)).ravel()
-            + np.asarray(indep_t @ (log_b - log_1b)).ravel()
-            + np.asarray(dep_claims_t @ (log_g - log_1g)).ravel()
-        )
-        posterior = _posterior(log_true, log_false, params.z)
-        joint_true = log_true + np.log(params.z)
-        joint_false = log_false + np.log1p(-params.z)
-        top = np.maximum(joint_true, joint_false)
-        log_likelihood = float(
-            (top + np.log(np.exp(joint_true - top) + np.exp(joint_false - top))).sum()
-        )
-        return posterior, log_likelihood
-
-    def _m_step(
-        self, sc_indep, sc_dep, dep, posterior: np.ndarray, previous: SourceParameters
-    ) -> SourceParameters:
-        smoothing = self.config.smoothing
-        eps = self.config.epsilon
-        z_mass = posterior
-        y_mass = 1.0 - posterior
-        z_total = float(z_mass.sum())
-        y_total = float(y_mass.sum())
-
-        def _ratio(matrix, weight, weight_total, fallback):
-            numerator = np.asarray(matrix @ weight).ravel()
-            dep_weight = np.asarray(dep @ weight).ravel()
-            if matrix is sc_dep:
-                denominator = dep_weight
-            else:
-                denominator = weight_total - dep_weight
-            pooled_den = float(denominator.sum())
-            pooled = float(numerator.sum()) / pooled_den if pooled_den > 0 else 0.5
-            numerator = numerator + smoothing * pooled
-            denominator = denominator + smoothing
-            with np.errstate(invalid="ignore", divide="ignore"):
-                # The subtracted denominator can undershoot the
-                # numerator by float rounding; clip to stay a rate.
-                ratio = np.clip(numerator / denominator, 0.0, 1.0)
-            return np.where(denominator > 0, ratio, fallback)
-
-        a = _ratio(sc_indep, z_mass, z_total, previous.a)
-        f = _ratio(sc_dep, z_mass, z_total, previous.f)
-        b = _ratio(sc_indep, y_mass, y_total, previous.b)
-        g = _ratio(sc_dep, y_mass, y_total, previous.g)
-        z = float(posterior.mean()) if posterior.size else previous.z
-        return SourceParameters(a=a, b=b, f=f, g=g, z=z).clamp(eps)
-
-
-def _posterior(log_true: np.ndarray, log_false: np.ndarray, z: float) -> np.ndarray:
-    joint_true = log_true + np.log(z)
-    joint_false = log_false + np.log1p(-z)
-    top = np.maximum(joint_true, joint_false)
-    numerator = np.exp(joint_true - top)
-    return numerator / (numerator + np.exp(joint_false - top))
 
 
 __all__ = ["SparseEMExt"]

@@ -17,7 +17,7 @@ assertion at all.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from repro.network.events import EventLog
 from repro.network.graph import FollowGraph

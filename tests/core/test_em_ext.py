@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 
 from repro.core import EMConfig, EMExtEstimator, SensingProblem, SourceParameters, run_em_ext
 from repro.core.likelihood import data_log_likelihood
+from repro.engine import DenseBackend
 from repro.synthetic import GeneratorConfig, generate_dataset
 from repro.utils.errors import ValidationError
 
@@ -133,29 +134,30 @@ class TestFit:
 class TestMStep:
     def test_m_step_closed_form(self, small_params):
         """Equations (10)-(14) against a hand computation."""
-        estimator = EMExtEstimator(seed=0)
+        epsilon = EMConfig().epsilon
         sc = np.array([[1.0, 0.0], [1.0, 1.0], [0.0, 1.0]])
         dep = np.array([[1.0, 0.0], [0.0, 0.0], [0.0, 1.0]])
+        backend = DenseBackend(SensingProblem(claims=sc, dependency=dep))
         posterior = np.array([0.8, 0.4])
-        new = estimator._m_step(sc, dep, posterior, small_params)
+        new = backend.m_step(posterior, small_params)
         # Source 1 (no dependent cells): a = (Z0 + Z1) / (Z0 + Z1) = 1 → clamped.
-        assert new.a[1] == pytest.approx(1.0 - estimator.config.epsilon)
+        assert new.a[1] == pytest.approx(1.0 - epsilon)
         # Source 0: independent cells = column 1 only; claim 0 there.
         # a_0 = 0 / Z1 = 0 → clamped to ε.
-        assert new.a[0] == pytest.approx(estimator.config.epsilon)
+        assert new.a[0] == pytest.approx(epsilon)
         # Source 0: dependent cells = column 0, claimed: f_0 = Z0/Z0 = 1.
-        assert new.f[0] == pytest.approx(1.0 - estimator.config.epsilon)
+        assert new.f[0] == pytest.approx(1.0 - epsilon)
         # Source 2: dependent cell = column 1, claimed: g_2 = Y1/Y1 = 1.
-        assert new.g[2] == pytest.approx(1.0 - estimator.config.epsilon)
+        assert new.g[2] == pytest.approx(1.0 - epsilon)
         # z = mean posterior.
         assert new.z == pytest.approx(0.6)
 
     def test_empty_partition_keeps_previous(self, small_params):
-        estimator = EMExtEstimator(seed=0)
         sc = np.zeros((3, 2))
         dep = np.zeros((3, 2))
+        backend = DenseBackend(SensingProblem(claims=sc, dependency=dep))
         posterior = np.array([0.5, 0.5])
-        new = estimator._m_step(sc, dep, posterior, small_params)
+        new = backend.m_step(posterior, small_params)
         np.testing.assert_allclose(new.f, small_params.f)
         np.testing.assert_allclose(new.g, small_params.g)
 

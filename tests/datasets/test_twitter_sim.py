@@ -1,6 +1,5 @@
 """Tests for the Twitter platform simulation."""
 
-import numpy as np
 import pytest
 
 from repro.datasets import (

@@ -1,6 +1,5 @@
 """Tests for the per-figure experiment definitions (smoke-scale)."""
 
-import numpy as np
 import pytest
 
 from repro.bounds import GibbsConfig

@@ -1,7 +1,6 @@
 """Integration tests: full flows across packages."""
 
 import numpy as np
-import pytest
 
 from repro import (
     EMExtEstimator,

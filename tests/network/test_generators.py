@@ -1,6 +1,5 @@
 """Tests for follow-graph generators."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -1,6 +1,5 @@
 """Tests for matrix construction from pipeline stages."""
 
-import numpy as np
 import pytest
 
 from repro.datasets import Tweet

@@ -1,6 +1,5 @@
 """Tests for assertion clustering."""
 
-import numpy as np
 import pytest
 
 from repro.datasets import Tweet, simulate_dataset

@@ -5,7 +5,6 @@ texts collide.  The pipeline must degrade predictably, never crash or
 silently corrupt the matrices.
 """
 
-import numpy as np
 import pytest
 
 from repro.datasets import Tweet

@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.bounds",
     "repro.core",
     "repro.datasets",
+    "repro.engine",
     "repro.eval",
     "repro.extensions",
     "repro.io",
