@@ -74,6 +74,13 @@ from repro.eval import (
 )
 from repro.extensions import StreamingEMExt
 from repro.pipeline import ApolloPipeline, SimulatedGrader, grade_top_k
+from repro.resilience import (
+    FailurePolicy,
+    FaultInjector,
+    InjectedFault,
+    RunHealth,
+    TrialFailure,
+)
 from repro.synthetic import (
     GeneratorConfig,
     SyntheticDataset,
@@ -101,10 +108,14 @@ __all__ = [
     "EventLog",
     "FactFinder",
     "FactFindingResult",
+    "FailurePolicy",
+    "FaultInjector",
     "FollowGraph",
     "GeneratorConfig",
     "GibbsConfig",
+    "InjectedFault",
     "Post",
+    "RunHealth",
     "SIMULATION_ALGORITHMS",
     "SensingProblem",
     "SimulatedGrader",
@@ -114,6 +125,7 @@ __all__ = [
     "Sums",
     "SyntheticDataset",
     "SyntheticGenerator",
+    "TrialFailure",
     "TruthFinder",
     "TwitterSimulator",
     "Voting",

@@ -138,6 +138,7 @@ class _MaskedIndependentEM(FactFinder):
             converged=outcome.converged,
             n_iterations=outcome.n_iterations,
             trace=outcome.trace,
+            health=outcome.health,
             extras={
                 "t": params.t,
                 "b": params.b,

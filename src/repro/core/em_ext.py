@@ -93,6 +93,17 @@ class EMConfig:
           credible), the classic truth-discovery warm start.
         * ``"random"`` — random source parameters (the paper's
           "initialize parameter set with random probability").
+    strict:
+        Failure semantics when *every* restart diverges or raises: raise
+        :class:`~repro.utils.errors.ConvergenceError` (``True``) or
+        degrade gracefully, returning a best-effort result whose
+        :class:`~repro.engine.health.RunHealth` records what failed
+        (``False``, the default).
+    max_wall_seconds:
+        Optional wall-clock budget for the whole multi-restart fit; the
+        driver stops after the first iteration past the budget instead
+        of running to ``max_iterations``.  ``None`` (default) disables
+        the budget.
     """
 
     max_iterations: int = 200
@@ -101,6 +112,8 @@ class EMConfig:
     n_restarts: int = 1
     smoothing: float = 0.0
     init_strategy: str = "staged"
+    strict: bool = False
+    max_wall_seconds: Optional[float] = None
 
     def __post_init__(self) -> None:
         check_positive_int(self.max_iterations, "max_iterations")
@@ -115,6 +128,10 @@ class EMConfig:
             raise ValidationError(
                 f"init_strategy must be 'staged', 'support' or 'random', got "
                 f"{self.init_strategy!r}"
+            )
+        if self.max_wall_seconds is not None and not self.max_wall_seconds > 0:
+            raise ValidationError(
+                f"max_wall_seconds must be positive, got {self.max_wall_seconds}"
             )
 
 
@@ -151,6 +168,17 @@ class EMExtEstimator:
 
     def fit(self, problem: SensingProblem) -> EstimationResult:
         """Run EM on ``problem`` and return the richest result object."""
+        # Usage errors surface here, eagerly; inside the restart loop the
+        # driver would treat them as per-restart runtime faults.
+        if (
+            self.initial_parameters is not None
+            and self.initial_parameters.n_sources != problem.n_sources
+        ):
+            raise ValidationError(
+                "initial_parameters describe "
+                f"{self.initial_parameters.n_sources} sources but the "
+                f"problem has {problem.n_sources}"
+            )
         backend = DenseBackend(
             problem,
             smoothing=self.config.smoothing,
@@ -167,6 +195,7 @@ class EMExtEstimator:
             converged=outcome.converged,
             n_iterations=outcome.n_iterations,
             trace=outcome.trace,
+            health=outcome.health,
         )
 
     # -- internals ---------------------------------------------------------------

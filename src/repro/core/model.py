@@ -121,6 +121,16 @@ class SourceParameters:
             z=float(np.clip(self.z, epsilon, 1.0 - epsilon)),
         )
 
+    def is_finite(self) -> bool:
+        """``True`` when every rate and the prior are finite numbers."""
+        return bool(
+            np.isfinite(self.a).all()
+            and np.isfinite(self.b).all()
+            and np.isfinite(self.f).all()
+            and np.isfinite(self.g).all()
+            and np.isfinite(self.z)
+        )
+
     def restrict(self, indices: np.ndarray) -> "SourceParameters":
         """Return the parameter set of the source subset ``indices``."""
         idx = np.asarray(indices)

@@ -16,6 +16,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.core.model import ParameterTrace, SourceParameters
+from repro.engine.health import RunHealth
 from repro.utils.errors import ValidationError
 
 
@@ -92,6 +93,8 @@ class EstimationResult(FactFindingResult):
     converged: bool = False
     n_iterations: int = 0
     trace: Optional[ParameterTrace] = None
+    #: Multi-restart health report (populated by engine-driven estimators).
+    health: Optional[RunHealth] = None
 
     @property
     def posterior(self) -> np.ndarray:

@@ -34,6 +34,12 @@ from repro.engine.driver import (
     IterationEvent,
     TelemetryRecorder,
 )
+from repro.engine.health import (
+    FAILED_STATUSES,
+    RESTART_STATUSES,
+    RestartReport,
+    RunHealth,
+)
 from repro.engine.initialisation import (
     staged_initialisation,
     support_initialisation,
@@ -52,9 +58,13 @@ __all__ = [
     "DenseBackend",
     "DriverOutcome",
     "EMDriver",
+    "FAILED_STATUSES",
     "IterationEvent",
     "MaskedDenseBackend",
     "RATE_NAMES",
+    "RESTART_STATUSES",
+    "RestartReport",
+    "RunHealth",
     "SufficientStatistics",
     "TelemetryRecorder",
     "log_likelihood_from_columns",

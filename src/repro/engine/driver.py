@@ -17,6 +17,24 @@ truthy value requests an early stop: the loop ends after the current
 iteration with ``converged=False`` (unless the iteration also met the
 tolerance).  :class:`TelemetryRecorder` is the batteries-included
 callback that accumulates events across runs.
+
+Run health
+----------
+The driver guards its own numerics (DESIGN.md treats sources as
+unreliable; the runtime gets the same treatment):
+
+* a non-finite log likelihood or parameter delta marks the restart
+  *diverged* — the loop stops instead of iterating on garbage;
+* a restart whose backend raises is recorded and skipped, not fatal;
+* restart selection is NaN-safe: a diverged restart can never shadow a
+  later finite one;
+* an optional wall-clock budget (``max_wall_seconds``) bounds the whole
+  multi-restart fit;
+* when *every* restart fails, strict mode raises
+  :class:`~repro.utils.errors.ConvergenceError` (with the iteration
+  count and last residual); non-strict mode degrades gracefully and
+  returns a best-effort outcome carrying a structured
+  :class:`~repro.engine.health.RunHealth` report.
 """
 
 from __future__ import annotations
@@ -28,6 +46,8 @@ from typing import Callable, List, Optional, Sequence
 import numpy as np
 
 from repro.core.model import ParameterTrace
+from repro.engine.health import RestartReport, RunHealth
+from repro.utils.errors import ConvergenceError, ValidationError
 from repro.utils.rng import RandomState, SeedLike, spawn_rngs
 
 #: Per-iteration callback; a truthy return value requests an early stop.
@@ -90,6 +110,9 @@ class DriverOutcome:
     posterior: np.ndarray
     trace: ParameterTrace
     converged: bool
+    diverged: bool = False
+    budget_exhausted: bool = False
+    health: Optional[RunHealth] = None
 
     @property
     def n_iterations(self) -> int:
@@ -119,11 +142,19 @@ class EMDriver:
         tolerance: float,
         n_restarts: int = 1,
         callbacks: Sequence[IterationCallback] = (),
+        strict: bool = False,
+        max_wall_seconds: Optional[float] = None,
     ):
+        if max_wall_seconds is not None and max_wall_seconds <= 0:
+            raise ValidationError(
+                f"max_wall_seconds must be positive, got {max_wall_seconds}"
+            )
         self.max_iterations = max_iterations
         self.tolerance = tolerance
         self.n_restarts = n_restarts
         self.callbacks = tuple(callbacks)
+        self.strict = strict
+        self.max_wall_seconds = max_wall_seconds
 
     @classmethod
     def from_config(
@@ -135,13 +166,26 @@ class EMDriver:
             tolerance=config.tolerance,
             n_restarts=config.n_restarts,
             callbacks=callbacks,
+            strict=getattr(config, "strict", False),
+            max_wall_seconds=getattr(config, "max_wall_seconds", None),
         )
 
-    def run(self, backend, params) -> DriverOutcome:
-        """One EM run from ``params`` to a fixed point (or the iteration cap)."""
+    def run(
+        self, backend, params, *, deadline: Optional[float] = None
+    ) -> DriverOutcome:
+        """One EM run from ``params`` to a fixed point (or the iteration cap).
+
+        ``deadline`` is an absolute ``time.perf_counter()`` instant; the
+        loop stops after the first iteration that finishes past it (the
+        run is marked ``budget_exhausted``, never left parameterless).
+        A non-finite log likelihood or parameter delta stops the loop
+        immediately with ``diverged=True``.
+        """
         trace = ParameterTrace()
         posterior = backend.posterior(params)
         converged = False
+        diverged = False
+        budget_exhausted = False
         for iteration in range(self.max_iterations):
             start = time.perf_counter()
             new_params = backend.m_step(posterior, params)
@@ -161,8 +205,14 @@ class EMDriver:
                     )
                 ):
                     stop_requested = True
+            if not (np.isfinite(delta) and np.isfinite(log_likelihood)):
+                diverged = True
+                break
             if delta < self.tolerance:
                 converged = True
+                break
+            if deadline is not None and time.perf_counter() >= deadline:
+                budget_exhausted = True
                 break
             if stop_requested:
                 break
@@ -171,6 +221,8 @@ class EMDriver:
             posterior=posterior,
             trace=trace,
             converged=converged,
+            diverged=diverged,
+            budget_exhausted=budget_exhausted,
         )
 
     def fit(
@@ -179,21 +231,103 @@ class EMDriver:
         initialiser: Callable[[int, np.random.Generator], object],
         seed: SeedLike = None,
     ) -> DriverOutcome:
-        """Multi-restart EM; the best fixed point by log likelihood wins.
+        """Multi-restart EM; the best *usable* fixed point wins.
 
         ``initialiser(index, rng)`` produces the starting parameters of
         restart ``index`` (strategy-based for the first, typically
         random for the rest).
+
+        Fault tolerance: a restart that diverges (non-finite numerics)
+        or raises — in its initialiser (data-dependent warm starts can
+        choke on corrupt input) or inside the EM loop — is recorded in
+        the returned
+        outcome's :class:`~repro.engine.health.RunHealth` and skipped;
+        selection compares only finite log likelihoods, so a diverged
+        first restart can never shadow a later usable one.  When every
+        restart fails, strict mode raises
+        :class:`~repro.utils.errors.ConvergenceError`; otherwise the
+        last diverged outcome is returned best-effort (with
+        ``converged=False`` and the health report attached).
         """
         rng = RandomState(seed)
+        health = RunHealth()
         best: Optional[DriverOutcome] = None
+        best_index = -1
+        fallback: Optional[DriverOutcome] = None
+        deadline = (
+            time.perf_counter() + self.max_wall_seconds
+            if self.max_wall_seconds is not None
+            else None
+        )
+        total_iterations = 0
+        last_residual = float("nan")
         for index, restart_rng in enumerate(spawn_rngs(rng, self.n_restarts)):
-            params = initialiser(index, restart_rng)
-            candidate = self.run(backend, params)
-            if best is None or candidate.log_likelihood > best.log_likelihood:
+            if deadline is not None and index > 0 and time.perf_counter() >= deadline:
+                health.budget_exhausted = True
+                break
+            try:
+                params = initialiser(index, restart_rng)
+                candidate = self.run(backend, params, deadline=deadline)
+            except Exception as error:  # per-restart fault isolation
+                health.record(
+                    RestartReport(
+                        index=index,
+                        status="error",
+                        n_iterations=0,
+                        log_likelihood=float("nan"),
+                        error=f"{type(error).__name__}: {error}",
+                    )
+                )
+                continue
+            total_iterations += candidate.n_iterations
+            deltas = candidate.trace.parameter_deltas
+            if len(deltas):
+                last_residual = float(deltas[-1])
+            log_likelihood = candidate.log_likelihood
+            if candidate.diverged or np.isnan(log_likelihood):
+                health.record(
+                    RestartReport(
+                        index=index,
+                        status="diverged",
+                        n_iterations=candidate.n_iterations,
+                        log_likelihood=log_likelihood,
+                    )
+                )
+                fallback = candidate
+                continue
+            if candidate.budget_exhausted:
+                health.budget_exhausted = True
+            status = (
+                "converged"
+                if candidate.converged
+                else ("budget" if candidate.budget_exhausted else "exhausted")
+            )
+            health.record(
+                RestartReport(
+                    index=index,
+                    status=status,
+                    n_iterations=candidate.n_iterations,
+                    log_likelihood=log_likelihood,
+                )
+            )
+            if best is None or log_likelihood > best.log_likelihood:
                 best = candidate
-        assert best is not None  # n_restarts >= 1 by construction
-        return best
+                best_index = index
+        if best is not None:
+            health.selected = best_index
+            best.health = health
+            return best
+        message = (
+            f"every EM restart failed ({health.summary()}); "
+            "no usable fixed point"
+        )
+        if self.strict or fallback is None:
+            raise ConvergenceError(
+                message, iterations=total_iterations, residual=last_residual
+            )
+        fallback.converged = False
+        fallback.health = health
+        return fallback
 
 
 __all__ = [
@@ -201,5 +335,7 @@ __all__ = [
     "EMDriver",
     "IterationCallback",
     "IterationEvent",
+    "RestartReport",
+    "RunHealth",
     "TelemetryRecorder",
 ]

@@ -1,0 +1,104 @@
+"""Structured run-health reporting for the estimation engine.
+
+The paper's premise is that *sources* are unreliable; a production
+deployment must extend the same assumption to its own numerics.  A
+multi-restart EM fit can partially fail in several distinct ways — a
+restart diverges to non-finite parameters, a backend raises mid-run, a
+wall-clock budget expires — and silently collapsing those outcomes into
+"the run finished" hides exactly the information an operator needs.
+
+:class:`RunHealth` is the driver's structured answer: one
+:class:`RestartReport` per attempted restart (status, iterations, final
+log likelihood, error detail) plus which restart was selected and
+whether the budget ran out.  In non-strict mode the driver attaches it
+to the returned :class:`~repro.engine.driver.DriverOutcome` instead of
+raising; in strict mode it backs the
+:class:`~repro.utils.errors.ConvergenceError` raised when every restart
+failed.
+
+This module is dependency-free on purpose so both the engine and the
+:mod:`repro.resilience` toolkit can import it without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+#: Restart statuses, from best to worst.
+RESTART_STATUSES: Tuple[str, ...] = (
+    "converged",  # met the parameter-delta tolerance
+    "exhausted",  # hit max_iterations with finite numerics
+    "budget",     # stopped by the wall-clock budget
+    "diverged",   # produced a non-finite log likelihood or parameter delta
+    "error",      # the EM loop raised an exception
+)
+
+#: Statuses that make a restart unusable for model selection.
+FAILED_STATUSES: Tuple[str, ...] = ("diverged", "error")
+
+
+@dataclass(frozen=True)
+class RestartReport:
+    """What one EM restart did, as recorded by the driver."""
+
+    index: int
+    status: str
+    n_iterations: int
+    log_likelihood: float
+    error: Optional[str] = None
+
+    @property
+    def failed(self) -> bool:
+        """Whether this restart produced nothing usable."""
+        return self.status in FAILED_STATUSES
+
+
+@dataclass
+class RunHealth:
+    """Aggregate health of one multi-restart EM fit.
+
+    ``selected`` is the index of the restart whose fixed point the
+    driver returned, or ``None`` when every restart failed and the
+    driver degraded to a best-effort outcome (or raised).
+    """
+
+    restarts: List[RestartReport] = field(default_factory=list)
+    selected: Optional[int] = None
+    budget_exhausted: bool = False
+
+    def record(self, report: RestartReport) -> None:
+        """Append one restart's report."""
+        self.restarts.append(report)
+
+    @property
+    def n_restarts(self) -> int:
+        """Number of restarts attempted."""
+        return len(self.restarts)
+
+    @property
+    def n_failed(self) -> int:
+        """Restarts that diverged or raised."""
+        return sum(1 for r in self.restarts if r.failed)
+
+    @property
+    def all_failed(self) -> bool:
+        """Whether no restart produced a usable fixed point."""
+        return bool(self.restarts) and self.n_failed == len(self.restarts)
+
+    @property
+    def ok(self) -> bool:
+        """Healthy fit: a restart was selected and none failed."""
+        return self.selected is not None and self.n_failed == 0
+
+    def summary(self) -> str:
+        """One-line operator-facing digest."""
+        counts = {}
+        for report in self.restarts:
+            counts[report.status] = counts.get(report.status, 0) + 1
+        parts = [f"{count} {status}" for status, count in sorted(counts.items())]
+        tail = " (wall-clock budget exhausted)" if self.budget_exhausted else ""
+        return f"{self.n_restarts} restart(s): {', '.join(parts) or 'none run'}{tail}"
+
+
+__all__ = ["FAILED_STATUSES", "RESTART_STATUSES", "RestartReport", "RunHealth"]

@@ -117,6 +117,15 @@ class SufficientStatistics:
             denominators={k: np.zeros(n_sources) for k in RATE_NAMES},
         )
 
+    def copy(self) -> "SufficientStatistics":
+        """Deep copy (fresh count arrays) — used for rollback snapshots."""
+        return SufficientStatistics(
+            numerators={k: v.copy() for k, v in self.numerators.items()},
+            denominators={k: v.copy() for k, v in self.denominators.items()},
+            z_numerator=self.z_numerator,
+            z_denominator=self.z_denominator,
+        )
+
     def decay(self, factor: float) -> None:
         """Exponentially discount all accumulated counts in place."""
         for name in self.numerators:

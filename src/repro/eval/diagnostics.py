@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.core.result import EstimationResult
 from repro.engine.driver import IterationEvent
+from repro.resilience.policy import ACTION_RETRIED, ACTION_SKIPPED, TrialFailure
 from repro.utils.errors import ValidationError
 
 
@@ -145,6 +146,11 @@ class TelemetrySummary:
     max_iteration_seconds: float
     final_delta: float
     mean_log_likelihood_delta: float
+    #: Trial-level failure counts from the harness ledger (all zero for
+    #: fault-free runs, or when no ledger was passed in).
+    n_trial_failures: int = 0
+    n_retried: int = 0
+    n_skipped: int = 0
 
     @property
     def iterations_per_second(self) -> float:
@@ -154,13 +160,24 @@ class TelemetrySummary:
         return self.n_iterations / self.total_seconds
 
 
-def summarize_telemetry(events: Sequence[IterationEvent]) -> TelemetrySummary:
-    """Condense recorded iteration events into a :class:`TelemetrySummary`."""
+def summarize_telemetry(
+    events: Sequence[IterationEvent],
+    failures: Sequence["TrialFailure"] = (),
+) -> TelemetrySummary:
+    """Condense recorded iteration events into a :class:`TelemetrySummary`.
+
+    ``failures`` optionally takes a harness failure ledger
+    (:attr:`~repro.eval.harness.SimulationResult.failures`), folding
+    trial-level failure counts into the summary alongside the
+    per-iteration timings.
+    """
     if not events:
         raise ValidationError("no telemetry events recorded")
     durations = np.array([e.duration_seconds for e in events], dtype=np.float64)
     lls = np.array([e.log_likelihood for e in events], dtype=np.float64)
     ll_deltas = np.diff(lls)
+    n_retried = sum(1 for f in failures if f.action == ACTION_RETRIED)
+    n_skipped = sum(1 for f in failures if f.action == ACTION_SKIPPED)
     return TelemetrySummary(
         n_iterations=len(events),
         total_seconds=float(durations.sum()),
@@ -170,6 +187,9 @@ def summarize_telemetry(events: Sequence[IterationEvent]) -> TelemetrySummary:
         mean_log_likelihood_delta=(
             float(ll_deltas.mean()) if ll_deltas.size else 0.0
         ),
+        n_trial_failures=len(failures),
+        n_retried=n_retried,
+        n_skipped=n_skipped,
     )
 
 

@@ -6,22 +6,50 @@ compute the "Optimal" ceiling (``1 − Err`` from the error bound with
 oracle parameters).  The harness repeats trials with independent seeds
 and aggregates means and standard deviations — the paper uses 20 trials
 for bound experiments and 300 for estimator experiments.
+
+Fault tolerance
+---------------
+Long sweeps must survive individual failures.  Two orthogonal layers:
+
+* a :class:`~repro.resilience.policy.FailurePolicy` decides what
+  happens when one algorithm fails inside one trial (``fail_fast`` —
+  historical behaviour and default — ``skip``, or ``retry`` with
+  deterministic reseeding); every skip/retry lands in the result's
+  :attr:`SimulationResult.failures` ledger instead of disappearing;
+* ``checkpoint_path`` enables periodic *atomic* checkpointing, so an
+  interrupted sweep resumes from the last completed trial and — because
+  the harness replays the master RNG draws of completed trials — ends
+  bit-for-bit identical to an uninterrupted run with the same seed.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.baselines import make_fact_finder
+from repro.baselines import ALGORITHM_REGISTRY, make_fact_finder
 from repro.bounds import GibbsConfig, MAX_EXACT_SOURCES, exact_bound, gibbs_bound
 from repro.core.em_ext import EMConfig
 from repro.engine.driver import TelemetryRecorder
 from repro.eval.metrics import ClassificationMetrics, score_result
+from repro.resilience.checkpoint import (
+    load_checkpoint,
+    save_checkpoint,
+    simulation_fingerprint,
+)
+from repro.resilience.policy import (
+    ACTION_RETRIED,
+    ACTION_SKIPPED,
+    FAIL_FAST,
+    FailurePolicy,
+    TrialFailure,
+    retry_seed,
+)
 from repro.synthetic import GeneratorConfig, SyntheticGenerator, empirical_parameters
-from repro.utils.errors import ValidationError
+from repro.utils.errors import DataError, ValidationError
 from repro.utils.rng import RandomState, SeedLike, derive_seed
 
 #: Registry key used for the transformed error bound in result tables.
@@ -54,15 +82,37 @@ class AlgorithmSeries:
 
 @dataclass
 class SimulationResult:
-    """Aggregated outcome of one repeated-trial experiment point."""
+    """Aggregated outcome of one repeated-trial experiment point.
+
+    ``failures`` is the per-algorithm failure ledger: one
+    :class:`~repro.resilience.policy.TrialFailure` per skipped or
+    retried fit (empty for fault-free runs and under ``fail_fast``).
+    """
 
     config: GeneratorConfig
     n_trials: int
     series: Dict[str, AlgorithmSeries]
+    failures: List[TrialFailure] = field(default_factory=list)
 
     def mean_accuracy(self, algorithm: str) -> float:
         """Mean accuracy of one algorithm (or ``"optimal"``)."""
         return self.series[algorithm].mean("accuracy")
+
+    def failure_counts(self) -> Dict[str, Dict[str, int]]:
+        """Ledger digest: algorithm → action (``retried``/``skipped``) → count."""
+        counts: Dict[str, Dict[str, int]] = {}
+        for failure in self.failures:
+            per_algorithm = counts.setdefault(failure.algorithm, {})
+            per_algorithm[failure.action] = per_algorithm.get(failure.action, 0) + 1
+        return counts
+
+    def n_skipped(self, algorithm: str) -> int:
+        """Trials whose metrics are missing for ``algorithm`` (skipped fits)."""
+        return sum(
+            1
+            for failure in self.failures
+            if failure.algorithm == algorithm and failure.action == ACTION_SKIPPED
+        )
 
     def summary(self) -> Dict[str, Dict[str, float]]:
         """Nested dict: algorithm → metric → mean."""
@@ -111,6 +161,9 @@ def run_simulation(
     em_config: Optional[EMConfig] = None,
     exact_limit: int = 20,
     telemetry: Optional[TelemetryRecorder] = None,
+    failure_policy: Optional[FailurePolicy] = None,
+    checkpoint_path: Optional[str] = None,
+    checkpoint_interval: int = 1,
 ) -> SimulationResult:
     """Run the Section V-B experiment loop at one parameter point.
 
@@ -122,9 +175,26 @@ def run_simulation(
     any per-iteration callback) is attached to every EM-family estimator
     the harness constructs, so iteration timings and log-likelihood
     deltas accumulate across all trials of the experiment point.
+
+    ``failure_policy`` governs per-(trial, algorithm) failures; see
+    :class:`~repro.resilience.policy.FailurePolicy`.  The default
+    ``fail_fast`` reproduces the historical behaviour exactly.
+
+    ``checkpoint_path`` enables atomic checkpointing every
+    ``checkpoint_interval`` trials (requires an integer ``seed``, since
+    resume must re-derive the trial seeds).  If the file already holds a
+    checkpoint of *this* experiment, the run resumes after its last
+    completed trial and produces results identical to an uninterrupted
+    run; a checkpoint of a different experiment raises
+    :class:`~repro.utils.errors.DataError`.
     """
     if n_trials <= 0:
         raise ValidationError(f"n_trials must be positive, got {n_trials}")
+    if checkpoint_interval <= 0:
+        raise ValidationError(
+            f"checkpoint_interval must be positive, got {checkpoint_interval}"
+        )
+    policy = failure_policy or FailurePolicy.fail_fast()
     exact_limit = min(exact_limit, MAX_EXACT_SOURCES)
     bound_config = bound_config or GibbsConfig(min_sweeps=400, max_sweeps=4000)
     rng = RandomState(seed)
@@ -132,20 +202,136 @@ def run_simulation(
     series: Dict[str, AlgorithmSeries] = {name: AlgorithmSeries() for name in algorithms}
     if include_optimal:
         series[OPTIMAL_KEY] = AlgorithmSeries()
-    for _ in range(n_trials):
+    failures: List[TrialFailure] = []
+
+    fingerprint = None
+    start_trial = 0
+    if checkpoint_path is not None:
+        if not isinstance(seed, (int, np.integer)):
+            raise ValidationError(
+                "checkpointing requires an integer seed (resume must re-derive "
+                f"trial seeds), got {type(seed).__name__}"
+            )
+        fingerprint = simulation_fingerprint(
+            config,
+            algorithms=algorithms,
+            n_trials=n_trials,
+            seed=int(seed),
+            include_optimal=include_optimal,
+        )
+        if os.path.exists(checkpoint_path):
+            state = load_checkpoint(checkpoint_path, fingerprint)
+            start_trial = min(state.completed_trials, n_trials)
+            for name, metrics in state.series.items():
+                if name not in series:
+                    raise DataError(
+                        f"checkpoint holds series for unknown algorithm {name!r}"
+                    )
+                series[name] = AlgorithmSeries(
+                    accuracy=list(metrics.get("accuracy", [])),
+                    false_positive_rate=list(metrics.get("false_positive_rate", [])),
+                    false_negative_rate=list(metrics.get("false_negative_rate", [])),
+                )
+            failures = list(state.failures)
+            # Replay the completed trials' master-RNG draws (dataset
+            # generation and seed derivations) without fitting, so the
+            # remaining trials see exactly the stream an uninterrupted
+            # run would have.
+            for _ in range(start_trial):
+                generator.generate()
+                derive_seed(rng)
+                if include_optimal:
+                    derive_seed(rng)
+
+    for trial in range(start_trial, n_trials):
         dataset = generator.generate()
         problem = dataset.problem
         blind = problem.without_truth()
         trial_seed = derive_seed(rng)
         for name in algorithms:
-            finder = _make(name, trial_seed, em_config, telemetry)
-            result = finder.fit(blind)
-            series[name].record(score_result(result, problem.truth))
-        if include_optimal:
-            series[OPTIMAL_KEY].record(
-                _optimal_metrics(problem, bound_config, exact_limit, derive_seed(rng))
+
+            def _fit_and_score(fit_seed: int, name: str = name) -> ClassificationMetrics:
+                finder = _make(name, fit_seed, em_config, telemetry)
+                result = finder.fit(blind)
+                if not np.all(np.isfinite(result.scores)):
+                    raise DataError(
+                        f"{name} produced non-finite scores on trial {trial}"
+                    )
+                return score_result(result, problem.truth)
+
+            metrics = _attempt(
+                _fit_and_score, trial, name, trial_seed, policy, failures
             )
-    return SimulationResult(config=config, n_trials=n_trials, series=series)
+            if metrics is not None:
+                series[name].record(metrics)
+        if include_optimal:
+            optimal_seed = derive_seed(rng)
+            metrics = _attempt(
+                lambda s: _optimal_metrics(problem, bound_config, exact_limit, s),
+                trial,
+                OPTIMAL_KEY,
+                optimal_seed,
+                policy,
+                failures,
+            )
+            if metrics is not None:
+                series[OPTIMAL_KEY].record(metrics)
+        if checkpoint_path is not None and (
+            (trial + 1) % checkpoint_interval == 0 or trial + 1 == n_trials
+        ):
+            save_checkpoint(
+                checkpoint_path,
+                fingerprint=fingerprint,
+                completed_trials=trial + 1,
+                series={
+                    name: {
+                        "accuracy": s.accuracy,
+                        "false_positive_rate": s.false_positive_rate,
+                        "false_negative_rate": s.false_negative_rate,
+                    }
+                    for name, s in series.items()
+                },
+                failures=failures,
+            )
+    return SimulationResult(
+        config=config, n_trials=n_trials, series=series, failures=failures
+    )
+
+
+def _attempt(
+    fit: Callable[[int], ClassificationMetrics],
+    trial: int,
+    name: str,
+    base_seed: int,
+    policy: FailurePolicy,
+    failures: List[TrialFailure],
+) -> Optional[ClassificationMetrics]:
+    """Run one (trial, algorithm) fit under the failure policy.
+
+    Returns the metrics, or ``None`` when every attempt failed and the
+    policy said to skip.  Retry attempts are reseeded deterministically
+    from ``base_seed`` alone, so they never perturb the master RNG.
+    """
+    for attempt in range(policy.attempts):
+        try:
+            return fit(retry_seed(base_seed, attempt))
+        except Exception as error:
+            if policy.mode == FAIL_FAST:
+                raise
+            action = (
+                ACTION_RETRIED if attempt + 1 < policy.attempts else ACTION_SKIPPED
+            )
+            failures.append(
+                TrialFailure(
+                    trial=trial,
+                    algorithm=name,
+                    attempt=attempt,
+                    error_type=type(error).__name__,
+                    message=str(error)[:500],
+                    action=action,
+                )
+            )
+    return None
 
 
 def _make(
@@ -162,6 +348,12 @@ def _make(
         if em_config is not None:
             kwargs["smoothing"] = em_config.smoothing
         return make_fact_finder(name, **kwargs)
+    cls = ALGORITHM_REGISTRY.get(name)
+    if cls is not None and getattr(cls, "accepts_trial_seed", False):
+        # Seed-aware algorithms outside the EM family (e.g. chaos
+        # wrappers from the fault-injection toolkit) still get the
+        # deterministic per-trial seed.
+        return make_fact_finder(name, seed=seed)
     return make_fact_finder(name)
 
 

@@ -30,7 +30,7 @@ from repro.core.result import EstimationResult
 from repro.engine.backends import DenseBackend
 from repro.engine.initialisation import support_posterior
 from repro.engine.statistics import SufficientStatistics
-from repro.utils.errors import ValidationError
+from repro.utils.errors import DataError, ValidationError
 from repro.utils.rng import SeedLike
 from repro.utils.validation import check_positive_int
 
@@ -87,46 +87,77 @@ class StreamingEMExt:
         self.n_batches = 0
         self._seed = seed
 
+    def _validate_batch(self, batch: SensingProblem) -> None:
+        """Reject batches that would corrupt the accumulated statistics."""
+        if batch.n_sources != self.n_sources:
+            raise ValidationError(
+                f"batch has {batch.n_sources} sources, stream expects "
+                f"{self.n_sources}"
+            )
+        if batch.n_assertions == 0:
+            raise ValidationError("batch carries no assertions")
+        if not np.all(np.isfinite(batch.claims.values)):
+            raise DataError("batch SC matrix contains non-finite values")
+        if not np.all(np.isfinite(batch.dependency.values)):
+            raise DataError("batch dependency matrix contains non-finite values")
+
     def partial_fit(self, batch: SensingProblem) -> EstimationResult:
         """Absorb one claim batch and return its truth estimates.
 
         The batch's posterior is refined with a few inner EM iterations
         (E-step on the batch, M-step on the decayed global statistics),
         so early batches are not frozen into a cold-start estimate.
+
+        A batch that fails — invalid shape, non-finite inputs, or a
+        failure mid-update — leaves the stream exactly as it was: the
+        statistics, parameters and batch counter are snapshotted before
+        the update and rolled back on any exception, so one poisoned
+        window cannot corrupt the accumulated state.
         """
-        if batch.n_sources != self.n_sources:
-            raise ValidationError(
-                f"batch has {batch.n_sources} sources, stream expects "
-                f"{self.n_sources}"
-            )
-        backend = DenseBackend(batch, epsilon=self.epsilon)
-        if self.n_batches == 0:
-            # Cold start: the neutral parameters carry no signal yet, so
-            # seed the first batch's posterior from dependency-discounted
-            # support (the same warm start the batch estimators use).
-            posterior = support_posterior(backend)
-        else:
-            posterior = backend.posterior(self.parameters)
-        for _ in range(self.inner_iterations):
+        self._validate_batch(batch)
+        stats_snapshot = self._stats.copy()
+        parameters_snapshot = self.parameters
+        batches_snapshot = self.n_batches
+        try:
+            backend = DenseBackend(batch, epsilon=self.epsilon)
+            if self.n_batches == 0:
+                # Cold start: the neutral parameters carry no signal yet, so
+                # seed the first batch's posterior from dependency-discounted
+                # support (the same warm start the batch estimators use).
+                posterior = support_posterior(backend)
+            else:
+                posterior = backend.posterior(self.parameters)
+            for _ in range(self.inner_iterations):
+                counts, z_counts = backend.partition_counts(posterior)
+                snapshot = self._stats.merged_rates(
+                    counts, z_counts, self.decay, self.parameters, self.epsilon
+                )
+                new_posterior = backend.posterior(snapshot)
+                delta = (
+                    float(np.max(np.abs(new_posterior - posterior)))
+                    if posterior.size
+                    else 0.0
+                )
+                posterior = new_posterior
+                if delta < 1e-8:
+                    break
+            if not np.all(np.isfinite(posterior)):
+                raise DataError("batch update produced a non-finite posterior")
+            # Commit: decay history, add this batch's counts, refresh params.
+            self._stats.decay(self.decay)
             counts, z_counts = backend.partition_counts(posterior)
-            snapshot = self._stats.merged_rates(
-                counts, z_counts, self.decay, self.parameters, self.epsilon
-            )
-            new_posterior = backend.posterior(snapshot)
-            delta = (
-                float(np.max(np.abs(new_posterior - posterior)))
-                if posterior.size
-                else 0.0
-            )
-            posterior = new_posterior
-            if delta < 1e-8:
-                break
-        # Commit: decay history, add this batch's counts, refresh params.
-        self._stats.decay(self.decay)
-        counts, z_counts = backend.partition_counts(posterior)
-        self._stats.add(counts, z_counts)
-        self.parameters = self._stats.rates(self.parameters, self.epsilon)
-        self.n_batches += 1
+            self._stats.add(counts, z_counts)
+            parameters = self._stats.rates(self.parameters, self.epsilon)
+            if not parameters.is_finite():
+                raise DataError("batch update produced non-finite parameters")
+            self.parameters = parameters
+            self.n_batches += 1
+        except Exception:
+            # Roll back: the stream is exactly as it was before the batch.
+            self._stats = stats_snapshot
+            self.parameters = parameters_snapshot
+            self.n_batches = batches_snapshot
+            raise
         decisions = (posterior >= 0.5).astype(np.int8)
         return EstimationResult(
             algorithm="streaming-em-ext",

@@ -1,0 +1,70 @@
+"""Fault tolerance for the estimation stack.
+
+The paper models *sources* as unreliable sensors; this package extends
+the same stance to the runtime, threading fault tolerance through the
+engine, the evaluation harness and the streaming estimator:
+
+* :mod:`repro.engine.health` (re-exported here) — structured
+  :class:`RunHealth` reports the :class:`~repro.engine.driver.EMDriver`
+  attaches to every multi-restart fit: per-restart status, NaN-safe
+  selection, wall-clock budgets, and strict-mode
+  :class:`~repro.utils.errors.ConvergenceError`;
+* :mod:`repro.resilience.policy` — trial-level failure policies
+  (``fail_fast`` / ``skip`` / ``retry`` with deterministic reseeding)
+  and the :class:`TrialFailure` ledger
+  :func:`~repro.eval.harness.run_simulation` records;
+* :mod:`repro.resilience.checkpoint` — atomic checkpoint/resume so a
+  300-trial sweep survives interruption and resumes bit-for-bit;
+* :mod:`repro.resilience.faults` — the deterministic fault-injection
+  toolkit (corrupted matrices, byzantine sources, malformed tweet
+  streams, flaky backends, chaos fact-finders) behind the
+  ``tests/resilience`` chaos suite.
+"""
+
+from repro.engine.health import (
+    FAILED_STATUSES,
+    RESTART_STATUSES,
+    RestartReport,
+    RunHealth,
+)
+from repro.resilience.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointState,
+    load_checkpoint,
+    save_checkpoint,
+    simulation_fingerprint,
+)
+from repro.resilience.faults import (
+    FaultInjector,
+    FlakyBackend,
+    InjectedFault,
+    NaNLikelihoodBackend,
+    chaos_finder,
+    temporary_algorithm,
+)
+from repro.resilience.policy import (
+    FailurePolicy,
+    TrialFailure,
+    retry_seed,
+)
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "CheckpointState",
+    "FAILED_STATUSES",
+    "FailurePolicy",
+    "FaultInjector",
+    "FlakyBackend",
+    "InjectedFault",
+    "NaNLikelihoodBackend",
+    "RESTART_STATUSES",
+    "RestartReport",
+    "RunHealth",
+    "TrialFailure",
+    "chaos_finder",
+    "load_checkpoint",
+    "retry_seed",
+    "save_checkpoint",
+    "simulation_fingerprint",
+    "temporary_algorithm",
+]

@@ -1,0 +1,156 @@
+"""Atomic checkpoint/resume for repeated-trial simulations.
+
+A 300-trial sweep point (Section V-B protocol) can run for a long time;
+an interruption — OOM kill, pre-emption, ctrl-C — must not discard the
+completed trials.  :func:`~repro.eval.harness.run_simulation` therefore
+periodically persists its per-algorithm metric series and failure
+ledger through this module and, on restart, resumes from the last
+completed trial.
+
+Guarantees:
+
+* **Atomicity** — the checkpoint is written to a temporary file and
+  moved into place with :func:`os.replace`, so a crash mid-write leaves
+  the previous checkpoint intact (never a half-written JSON).
+* **Determinism** — a checkpoint stores a *fingerprint* of the
+  experiment (config, algorithms, trial count, seed).  On resume the
+  harness replays the master RNG draws of the completed trials, so a
+  resumed sweep is bit-for-bit identical to an uninterrupted one with
+  the same seed.  A fingerprint mismatch raises
+  :class:`~repro.utils.errors.DataError` instead of silently mixing
+  results from different experiments.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+from repro.resilience.policy import TrialFailure
+from repro.utils.errors import DataError
+
+PathLike = Union[str, Path]
+
+#: Format version written into every checkpoint.
+CHECKPOINT_VERSION = 1
+
+#: Metric keys persisted per algorithm series.
+SERIES_METRICS = ("accuracy", "false_positive_rate", "false_negative_rate")
+
+
+def _canonical(payload: object) -> object:
+    """JSON round-trip, so tuples/ints normalise to what a reload sees."""
+    return json.loads(json.dumps(payload, sort_keys=True))
+
+
+def simulation_fingerprint(
+    config,
+    *,
+    algorithms: Sequence[str],
+    n_trials: int,
+    seed: int,
+    include_optimal: bool,
+) -> dict:
+    """Identity of one experiment point, for checkpoint compatibility."""
+    return _canonical(
+        {
+            "config": dataclasses.asdict(config),
+            "algorithms": list(algorithms),
+            "n_trials": int(n_trials),
+            "seed": int(seed),
+            "include_optimal": bool(include_optimal),
+        }
+    )
+
+
+@dataclass
+class CheckpointState:
+    """Everything a resumed simulation needs to continue."""
+
+    completed_trials: int
+    series: Dict[str, Dict[str, List[float]]]
+    failures: List[TrialFailure]
+
+
+def save_checkpoint(
+    path: PathLike,
+    *,
+    fingerprint: dict,
+    completed_trials: int,
+    series: Dict[str, Dict[str, List[float]]],
+    failures: Sequence[TrialFailure] = (),
+) -> None:
+    """Atomically persist the state of a partially completed simulation.
+
+    ``series`` maps algorithm name to metric-name → per-trial values
+    (see :data:`SERIES_METRICS`).
+    """
+    path = Path(path)
+    payload = {
+        "format_version": CHECKPOINT_VERSION,
+        "kind": "simulation_checkpoint",
+        "fingerprint": fingerprint,
+        "completed_trials": int(completed_trials),
+        "series": series,
+        "failures": [f.to_dict() for f in failures],
+    }
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def load_checkpoint(path: PathLike, fingerprint: dict) -> CheckpointState:
+    """Read a checkpoint and verify it belongs to this experiment.
+
+    Raises :class:`~repro.utils.errors.DataError` when the file is
+    malformed, from an unsupported version, or fingerprinted for a
+    different experiment (config/seed/algorithms/trial count).
+    """
+    path = Path(path)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except json.JSONDecodeError as error:
+        raise DataError(f"{path}: corrupt checkpoint (invalid JSON)") from error
+    if payload.get("kind") != "simulation_checkpoint":
+        raise DataError(f"{path}: not a simulation checkpoint")
+    version = payload.get("format_version")
+    if version != CHECKPOINT_VERSION:
+        raise DataError(
+            f"{path}: unsupported checkpoint version {version!r} "
+            f"(expected {CHECKPOINT_VERSION})"
+        )
+    if payload.get("fingerprint") != _canonical(fingerprint):
+        raise DataError(
+            f"{path}: checkpoint belongs to a different experiment "
+            "(config, seed, algorithms or trial count changed)"
+        )
+    completed = int(payload.get("completed_trials", 0))
+    series = payload.get("series", {})
+    for name, metrics in series.items():
+        for metric in SERIES_METRICS:
+            values = metrics.get(metric, [])
+            if not isinstance(values, list):
+                raise DataError(f"{path}: malformed series for {name!r}")
+    failures = [TrialFailure.from_dict(f) for f in payload.get("failures", [])]
+    return CheckpointState(
+        completed_trials=completed, series=series, failures=failures
+    )
+
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "CheckpointState",
+    "SERIES_METRICS",
+    "load_checkpoint",
+    "save_checkpoint",
+    "simulation_fingerprint",
+]

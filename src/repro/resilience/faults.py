@@ -1,0 +1,304 @@
+"""Deterministic fault injection for chaos testing.
+
+Related work treats corrupted and adversarial inputs as the *normal*
+case for social sensing; this module makes those conditions
+reproducible so every recovery path in the library can be exercised
+end-to-end.  All injectors are seeded — the same seed corrupts the same
+cells — which keeps chaos tests deterministic and debuggable.
+
+Three families:
+
+* :class:`FaultInjector` — data corruption: flipped claims, byzantine
+  sources, NaN-poisoned ``SC``/``D`` matrices (deliberately bypassing
+  input validation, to model corruption *past* the boundary), and
+  malformed tweet JSONL for the pipeline;
+* :class:`FlakyBackend` / :class:`NaNLikelihoodBackend` — engine-level
+  faults: wrap any EM backend to raise, or to emit a non-finite log
+  likelihood, on chosen call indices;
+* :func:`chaos_finder` / :func:`temporary_algorithm` — harness-level
+  faults: a registry-compatible fact-finder that delegates to a real
+  algorithm but dies on chosen fit indices, so a simulation sweep can
+  be killed mid-flight on purpose.
+
+Nothing here is imported by production code paths; estimators never
+depend on this module.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from contextlib import contextmanager
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.core.matrix import SensingProblem, SourceClaimMatrix
+from repro.utils.errors import ReproError, ValidationError
+from repro.utils.rng import RandomState, SeedLike
+
+
+class InjectedFault(ReproError):
+    """A failure raised on purpose by the fault-injection toolkit."""
+
+
+# ---------------------------------------------------------------------------
+# Data corruption
+# ---------------------------------------------------------------------------
+
+class FaultInjector:
+    """Seeded corruption of sensing problems and tweet streams."""
+
+    def __init__(self, seed: SeedLike = None):
+        self.rng = RandomState(seed)
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _cell_mask(self, shape, rate: float) -> np.ndarray:
+        if not 0.0 < rate <= 1.0:
+            raise ValidationError(f"rate must be in (0, 1], got {rate}")
+        mask = self.rng.random(shape) < rate
+        if not mask.any():
+            flat = int(self.rng.integers(0, int(np.prod(shape))))
+            mask.flat[flat] = True
+        return mask
+
+    def _rewrap(self, problem: SensingProblem, claims_values) -> SensingProblem:
+        claims = SourceClaimMatrix(
+            np.asarray(claims_values, dtype=np.int8),
+            source_ids=problem.claims.source_ids,
+            assertion_ids=problem.claims.assertion_ids,
+        )
+        return SensingProblem(
+            claims=claims, dependency=problem.dependency, truth=problem.truth
+        )
+
+    # -- structured (still-valid) corruption ------------------------------------
+
+    def flip_claims(self, problem: SensingProblem, rate: float = 0.05) -> SensingProblem:
+        """Flip a random ``rate`` fraction of SC cells (claim ↔ non-claim)."""
+        values = problem.claims.values.copy()
+        mask = self._cell_mask(values.shape, rate)
+        values[mask] = 1 - values[mask]
+        return self._rewrap(problem, values)
+
+    def byzantine_sources(
+        self, problem: SensingProblem, fraction: float = 0.1
+    ) -> SensingProblem:
+        """Invert entire source rows: chosen sources claim exactly what they didn't.
+
+        The classic byzantine-sensor model — the corrupted sources are
+        individually consistent, just systematically wrong.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValidationError(f"fraction must be in (0, 1], got {fraction}")
+        n_sources = problem.n_sources
+        n_bad = max(1, int(round(fraction * n_sources)))
+        rows = self.rng.choice(n_sources, size=min(n_bad, n_sources), replace=False)
+        values = problem.claims.values.copy()
+        values[rows] = 1 - values[rows]
+        return self._rewrap(problem, values)
+
+    # -- validation-bypassing corruption ----------------------------------------
+
+    def poison_claims(self, problem: SensingProblem, rate: float = 0.05) -> SensingProblem:
+        """NaN-poison a fraction of SC cells, *bypassing* input validation.
+
+        Models corruption that slipped past the ingestion boundary
+        (e.g. a partial write).  Consumers with run-health guards must
+        detect the non-finite values, not average over them.
+        """
+        poisoned = problem.claims.values.astype(np.float64)
+        poisoned[self._cell_mask(poisoned.shape, rate)] = np.nan
+        claims = SourceClaimMatrix(
+            problem.claims.values,
+            source_ids=problem.claims.source_ids,
+            assertion_ids=problem.claims.assertion_ids,
+        )
+        claims._matrix = poisoned  # deliberate bypass of the binary check
+        return SensingProblem(
+            claims=claims, dependency=problem.dependency, truth=problem.truth
+        )
+
+    def poison_dependency(
+        self, problem: SensingProblem, rate: float = 0.05
+    ) -> SensingProblem:
+        """NaN-poison a fraction of D cells, bypassing input validation."""
+        poisoned = problem.dependency.values.astype(np.float64)
+        poisoned[self._cell_mask(poisoned.shape, rate)] = np.nan
+        dependency = type(problem.dependency)(problem.dependency.values)
+        dependency._matrix = poisoned  # deliberate bypass
+        return SensingProblem(
+            claims=problem.claims, dependency=dependency, truth=problem.truth
+        )
+
+    # -- pipeline corruption -----------------------------------------------------
+
+    def malform_tweet_lines(
+        self, lines: Iterable[str], rate: float = 0.2
+    ) -> List[str]:
+        """Corrupt a fraction of tweet JSONL lines (truncate / drop field / garble).
+
+        Feed the result to :func:`repro.io.serialization.load_tweets`
+        to exercise its :class:`~repro.utils.errors.DataError` paths.
+        """
+        if not 0.0 < rate <= 1.0:
+            raise ValidationError(f"rate must be in (0, 1], got {rate}")
+        corrupted: List[str] = []
+        touched = 0
+        lines = list(lines)
+        for line in lines:
+            if self.rng.random() >= rate:
+                corrupted.append(line)
+                continue
+            touched += 1
+            mode = ("truncate", "drop_field", "garble")[int(self.rng.integers(0, 3))]
+            if mode == "truncate":
+                corrupted.append(line[: max(1, len(line) // 2)])
+            elif mode == "drop_field":
+                try:
+                    record = json.loads(line)
+                    for key in ("tweet_id", "user", "assertion"):
+                        record.pop(key, None)
+                    corrupted.append(json.dumps(record, sort_keys=True))
+                except json.JSONDecodeError:
+                    corrupted.append("{corrupt")
+            else:
+                corrupted.append("!!! not json !!!")
+        if lines and touched == 0:
+            index = int(self.rng.integers(0, len(corrupted)))
+            corrupted[index] = "!!! not json !!!"
+        return corrupted
+
+
+# ---------------------------------------------------------------------------
+# Backend wrappers
+# ---------------------------------------------------------------------------
+
+class _CountingProxy:
+    """Delegate everything to ``inner``, intercepting one method by name."""
+
+    def __init__(self, inner, method: str):
+        self._inner = inner
+        self._method = method
+        self.calls = 0
+
+    def __getattr__(self, name):
+        attr = getattr(self._inner, name)
+        if name != self._method:
+            return attr
+
+        def wrapped(*args, **kwargs):
+            index = self.calls
+            self.calls += 1
+            return self._intercept(attr, index, *args, **kwargs)
+
+        return wrapped
+
+    def _intercept(self, attr, index, *args, **kwargs):  # pragma: no cover
+        raise NotImplementedError
+
+
+class FlakyBackend(_CountingProxy):
+    """Wrap an EM backend; raise :class:`InjectedFault` on chosen calls.
+
+    ``fail_calls`` are 0-based indices of calls to ``method`` (default
+    ``m_step``, i.e. EM iterations for single-restart fits) that raise.
+    """
+
+    def __init__(self, inner, fail_calls: Sequence[int], method: str = "m_step"):
+        super().__init__(inner, method)
+        self._fail = frozenset(int(i) for i in fail_calls)
+
+    def _intercept(self, attr, index, *args, **kwargs):
+        if index in self._fail:
+            raise InjectedFault(
+                f"injected backend fault: {self._method} call #{index}"
+            )
+        return attr(*args, **kwargs)
+
+
+class NaNLikelihoodBackend(_CountingProxy):
+    """Wrap an EM backend; return a NaN log likelihood on chosen ``e_step`` calls."""
+
+    def __init__(self, inner, nan_calls: Sequence[int]):
+        super().__init__(inner, "e_step")
+        self._nan = frozenset(int(i) for i in nan_calls)
+
+    def _intercept(self, attr, index, *args, **kwargs):
+        posterior, log_likelihood = attr(*args, **kwargs)
+        if index in self._nan:
+            return posterior, float("nan")
+        return posterior, log_likelihood
+
+
+# ---------------------------------------------------------------------------
+# Harness-level chaos
+# ---------------------------------------------------------------------------
+
+def chaos_finder(
+    inner_factory,
+    *,
+    fail_fits: Sequence[int] = (),
+    name: str = "chaos",
+    exc=InjectedFault,
+):
+    """Build a registry-compatible fact-finder class that dies on purpose.
+
+    ``inner_factory(seed)`` constructs the real algorithm; ``fail_fits``
+    are 0-based indices of ``fit`` calls (counted across all instances
+    of the returned class, i.e. across trials *and* retry attempts)
+    that raise ``exc`` instead of fitting.  The class advertises
+    ``accepts_trial_seed`` so the harness threads the per-trial seed
+    through, keeping chaos runs deterministic and resumable.
+    """
+    fail = frozenset(int(i) for i in fail_fits)
+    counter = itertools.count()
+
+    class _ChaosFinder:
+        algorithm_name = name
+        accepts_trial_seed = True
+
+        def __init__(self, seed: SeedLike = None, **_kwargs):
+            self._seed = seed
+
+        def fit(self, problem):
+            index = next(counter)
+            if index in fail:
+                raise exc(f"injected fault: fit #{index} of {name!r}")
+            return inner_factory(self._seed).fit(problem)
+
+    _ChaosFinder.__name__ = f"ChaosFinder_{name}"
+    _ChaosFinder.__qualname__ = _ChaosFinder.__name__
+    return _ChaosFinder
+
+
+@contextmanager
+def temporary_algorithm(cls):
+    """Register ``cls`` in the algorithm registry for the duration of a block.
+
+    Yields the registry key (``cls.algorithm_name``) and restores any
+    shadowed registration on exit.
+    """
+    from repro.baselines import ALGORITHM_REGISTRY
+
+    name = cls.algorithm_name
+    previous = ALGORITHM_REGISTRY.get(name)
+    ALGORITHM_REGISTRY[name] = cls
+    try:
+        yield name
+    finally:
+        if previous is None:
+            ALGORITHM_REGISTRY.pop(name, None)
+        else:
+            ALGORITHM_REGISTRY[name] = previous
+
+
+__all__ = [
+    "FaultInjector",
+    "FlakyBackend",
+    "InjectedFault",
+    "NaNLikelihoodBackend",
+    "chaos_finder",
+    "temporary_algorithm",
+]

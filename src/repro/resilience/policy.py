@@ -1,0 +1,135 @@
+"""Trial-level failure policies for the simulation harness.
+
+The paper's estimator experiments average 300 trials per point; one
+crashed trial must not discard the other 299.  A
+:class:`FailurePolicy` tells :func:`~repro.eval.harness.run_simulation`
+what to do when a single algorithm's fit raises (or returns non-finite
+scores) inside one trial:
+
+* ``fail_fast`` — re-raise immediately (the historical behaviour, and
+  the default);
+* ``skip`` — record a :class:`TrialFailure` in the result's ledger and
+  move on, so the trial's other algorithms and the remaining trials
+  still run;
+* ``retry`` — re-run the failing fit up to ``max_attempts`` times with
+  a deterministically reseeded estimator (:func:`retry_seed`), then
+  skip.  Reseeding never touches the harness's master RNG, so trials
+  that *don't* fail produce bit-identical results whatever the policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.utils.errors import ValidationError
+
+#: Policy mode names.
+FAIL_FAST = "fail_fast"
+SKIP = "skip"
+RETRY = "retry"
+_MODES = (FAIL_FAST, SKIP, RETRY)
+
+#: Ledger actions.
+ACTION_RETRIED = "retried"
+ACTION_SKIPPED = "skipped"
+
+
+@dataclass(frozen=True)
+class FailurePolicy:
+    """What the harness does when one algorithm fails inside one trial."""
+
+    mode: str = FAIL_FAST
+    max_attempts: int = 3
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise ValidationError(
+                f"mode must be one of {_MODES}, got {self.mode!r}"
+            )
+        if not isinstance(self.max_attempts, (int, np.integer)) or self.max_attempts < 1:
+            raise ValidationError(
+                f"max_attempts must be a positive int, got {self.max_attempts!r}"
+            )
+
+    @classmethod
+    def fail_fast(cls) -> "FailurePolicy":
+        """Propagate the first failure (historical behaviour)."""
+        return cls(mode=FAIL_FAST)
+
+    @classmethod
+    def skip(cls) -> "FailurePolicy":
+        """Record failures in the ledger and keep sweeping."""
+        return cls(mode=SKIP)
+
+    @classmethod
+    def retry(cls, max_attempts: int = 3) -> "FailurePolicy":
+        """Retry with deterministic reseeding, then skip."""
+        return cls(mode=RETRY, max_attempts=max_attempts)
+
+    @property
+    def attempts(self) -> int:
+        """Fit attempts per (trial, algorithm) under this policy."""
+        return self.max_attempts if self.mode == RETRY else 1
+
+
+@dataclass(frozen=True)
+class TrialFailure:
+    """One ledger entry: what failed, where, and what the harness did."""
+
+    trial: int
+    algorithm: str
+    attempt: int
+    error_type: str
+    message: str
+    action: str  # ACTION_RETRIED or ACTION_SKIPPED
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form (used by checkpoints)."""
+        return {
+            "trial": self.trial,
+            "algorithm": self.algorithm,
+            "attempt": self.attempt,
+            "error_type": self.error_type,
+            "message": self.message,
+            "action": self.action,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "TrialFailure":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            trial=int(payload["trial"]),
+            algorithm=str(payload["algorithm"]),
+            attempt=int(payload["attempt"]),
+            error_type=str(payload["error_type"]),
+            message=str(payload["message"]),
+            action=str(payload["action"]),
+        )
+
+
+def retry_seed(base_seed: int, attempt: int) -> int:
+    """Deterministic seed for retry ``attempt`` of a fit seeded ``base_seed``.
+
+    Derived through :class:`numpy.random.SeedSequence` so retries are
+    statistically independent of the original attempt *and* of the
+    harness's master stream; attempt 0 is the original seed itself.
+    """
+    if attempt == 0:
+        return int(base_seed)
+    sequence = np.random.SeedSequence([int(base_seed), int(attempt)])
+    return int(np.random.default_rng(sequence).integers(0, 2**63 - 1))
+
+
+__all__ = [
+    "ACTION_RETRIED",
+    "ACTION_SKIPPED",
+    "FAIL_FAST",
+    "FailurePolicy",
+    "RETRY",
+    "SKIP",
+    "TrialFailure",
+    "retry_seed",
+]

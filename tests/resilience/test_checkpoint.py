@@ -1,0 +1,222 @@
+"""Checkpoint/resume: atomicity, fingerprinting, and bit-for-bit identity."""
+
+import json
+
+import pytest
+
+from repro.baselines import make_fact_finder
+from repro.eval import run_simulation
+from repro.resilience import (
+    FailurePolicy,
+    InjectedFault,
+    chaos_finder,
+    load_checkpoint,
+    save_checkpoint,
+    simulation_fingerprint,
+    temporary_algorithm,
+)
+from repro.resilience.policy import TrialFailure
+from repro.synthetic import GeneratorConfig
+from repro.utils.errors import DataError, ValidationError
+
+pytestmark = pytest.mark.chaos
+
+CONFIG = GeneratorConfig(n_sources=10, n_assertions=30, n_trees=(4, 5))
+
+
+def _fingerprint(seed=1, n_trials=2):
+    return simulation_fingerprint(
+        CONFIG,
+        algorithms=("em",),
+        n_trials=n_trials,
+        seed=seed,
+        include_optimal=False,
+    )
+
+
+class TestCheckpointFile:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        failures = [
+            TrialFailure(
+                trial=0,
+                algorithm="em",
+                attempt=0,
+                error_type="InjectedFault",
+                message="boom",
+                action="skipped",
+            )
+        ]
+        series = {"em": {"accuracy": [0.9], "false_positive_rate": [0.1], "false_negative_rate": [0.2]}}
+        save_checkpoint(
+            path,
+            fingerprint=_fingerprint(),
+            completed_trials=1,
+            series=series,
+            failures=failures,
+        )
+        state = load_checkpoint(path, _fingerprint())
+        assert state.completed_trials == 1
+        assert state.series == series
+        assert state.failures == failures
+        # No temporary file is left behind by the atomic write.
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_fingerprint_mismatch_raises(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        save_checkpoint(
+            path, fingerprint=_fingerprint(seed=1), completed_trials=1, series={}
+        )
+        with pytest.raises(DataError, match="different experiment"):
+            load_checkpoint(path, _fingerprint(seed=2))
+
+    def test_corrupt_file_raises(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text("{ not json")
+        with pytest.raises(DataError, match="invalid JSON"):
+            load_checkpoint(path, _fingerprint())
+
+    def test_wrong_kind_raises(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text(json.dumps({"kind": "something_else"}))
+        with pytest.raises(DataError, match="not a simulation checkpoint"):
+            load_checkpoint(path, _fingerprint())
+
+
+class TestHarnessCheckpointing:
+    def test_checkpoint_requires_integer_seed(self, tmp_path):
+        with pytest.raises(ValidationError, match="integer seed"):
+            run_simulation(
+                CONFIG,
+                algorithms=("em",),
+                n_trials=1,
+                seed=None,
+                include_optimal=False,
+                checkpoint_path=str(tmp_path / "ckpt.json"),
+            )
+
+    def test_interrupted_sweep_resumes_bit_for_bit(self, tmp_path):
+        """Kill the sweep at trial 2, resume, and match an uninterrupted run."""
+        path = str(tmp_path / "ckpt.json")
+        algorithms = ("em", "chaos-ckpt")
+
+        def factory(fail_fits):
+            return chaos_finder(
+                lambda seed: make_fact_finder("em", seed=seed),
+                fail_fits=fail_fits,
+                name="chaos-ckpt",
+            )
+
+        kwargs = dict(
+            algorithms=algorithms, n_trials=4, seed=7, include_optimal=False
+        )
+        # Reference: uninterrupted, no faults.
+        with temporary_algorithm(factory(())):
+            reference = run_simulation(CONFIG, **kwargs)
+
+        # Interrupted: the chaos algorithm dies on its fit #2 (trial 2)
+        # under fail_fast, after trials 0-1 were checkpointed.
+        with temporary_algorithm(factory((2,))):
+            with pytest.raises(InjectedFault):
+                run_simulation(CONFIG, checkpoint_path=path, **kwargs)
+        state = load_checkpoint(
+            path,
+            simulation_fingerprint(
+                CONFIG,
+                algorithms=algorithms,
+                n_trials=4,
+                seed=7,
+                include_optimal=False,
+            ),
+        )
+        assert state.completed_trials == 2
+
+        # Resume with the fault disarmed: trials 2-3 run, 0-1 come from
+        # the checkpoint, and the result matches the reference exactly.
+        with temporary_algorithm(factory(())):
+            resumed = run_simulation(CONFIG, checkpoint_path=path, **kwargs)
+        for name in reference.series:
+            assert resumed.series[name].accuracy == reference.series[name].accuracy
+            assert (
+                resumed.series[name].false_positive_rate
+                == reference.series[name].false_positive_rate
+            )
+            assert (
+                resumed.series[name].false_negative_rate
+                == reference.series[name].false_negative_rate
+            )
+        assert resumed.failures == []
+
+    def test_resume_replays_optimal_bound_draws(self, tmp_path):
+        """Identity also holds when the optimal bound consumes RNG draws."""
+        path = str(tmp_path / "ckpt.json")
+        kwargs = dict(
+            algorithms=("voting",), n_trials=3, seed=11, include_optimal=True
+        )
+        reference = run_simulation(CONFIG, **kwargs)
+
+        def factory(fail_fits):
+            return chaos_finder(
+                lambda seed: make_fact_finder("voting"),
+                fail_fits=fail_fits,
+                name="chaos-opt",
+            )
+
+        chaos_kwargs = dict(
+            algorithms=("voting", "chaos-opt"),
+            n_trials=3,
+            seed=11,
+            include_optimal=True,
+        )
+        with temporary_algorithm(factory((1,))):
+            with pytest.raises(InjectedFault):
+                run_simulation(CONFIG, checkpoint_path=path, **chaos_kwargs)
+        with temporary_algorithm(factory(())):
+            resumed = run_simulation(CONFIG, checkpoint_path=path, **chaos_kwargs)
+        # The chaos wrapper shares the master RNG protocol, so "voting"
+        # and "optimal" series match the chaos-free reference.
+        assert resumed.series["voting"].accuracy == reference.series["voting"].accuracy
+        assert (
+            resumed.series["optimal"].accuracy == reference.series["optimal"].accuracy
+        )
+
+    def test_completed_run_short_circuits_on_resume(self, tmp_path):
+        path = str(tmp_path / "ckpt.json")
+        kwargs = dict(
+            algorithms=("em",), n_trials=2, seed=5, include_optimal=False
+        )
+        first = run_simulation(CONFIG, checkpoint_path=path, **kwargs)
+        again = run_simulation(CONFIG, checkpoint_path=path, **kwargs)
+        assert again.series["em"].accuracy == first.series["em"].accuracy
+        assert again.n_trials == first.n_trials
+
+    def test_skip_policy_failures_survive_the_checkpoint(self, tmp_path):
+        path = str(tmp_path / "ckpt.json")
+
+        cls = chaos_finder(
+            lambda seed: make_fact_finder("em", seed=seed),
+            fail_fits=(0,),
+            name="chaos-ledger",
+        )
+        with temporary_algorithm(cls) as name:
+            result = run_simulation(
+                CONFIG,
+                algorithms=(name,),
+                n_trials=2,
+                seed=9,
+                include_optimal=False,
+                failure_policy=FailurePolicy.skip(),
+                checkpoint_path=path,
+            )
+        assert [f.action for f in result.failures] == ["skipped"]
+        state = load_checkpoint(
+            path,
+            simulation_fingerprint(
+                CONFIG,
+                algorithms=(name,),
+                n_trials=2,
+                seed=9,
+                include_optimal=False,
+            ),
+        )
+        assert state.failures == result.failures

@@ -1,0 +1,149 @@
+"""The fault-injection toolkit itself: determinism and fault shapes."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ALGORITHM_REGISTRY, make_fact_finder
+from repro.datasets import simulate_dataset
+from repro.io.serialization import load_tweets, save_tweets
+from repro.resilience import (
+    FaultInjector,
+    FlakyBackend,
+    InjectedFault,
+    NaNLikelihoodBackend,
+    chaos_finder,
+    temporary_algorithm,
+)
+from repro.synthetic import GeneratorConfig, generate_dataset
+from repro.utils.errors import DataError, ValidationError
+
+
+@pytest.fixture()
+def problem():
+    return generate_dataset(
+        GeneratorConfig(n_sources=12, n_assertions=40, n_trees=(5, 6)), seed=5
+    ).problem
+
+
+class TestFaultInjector:
+    def test_same_seed_same_corruption(self, problem):
+        one = FaultInjector(seed=7).flip_claims(problem, rate=0.1)
+        two = FaultInjector(seed=7).flip_claims(problem, rate=0.1)
+        np.testing.assert_array_equal(one.claims.values, two.claims.values)
+
+    def test_different_seed_different_corruption(self, problem):
+        one = FaultInjector(seed=7).flip_claims(problem, rate=0.1)
+        two = FaultInjector(seed=8).flip_claims(problem, rate=0.1)
+        assert not np.array_equal(one.claims.values, two.claims.values)
+
+    def test_flip_claims_stays_binary_and_touches_cells(self, problem):
+        flipped = FaultInjector(seed=0).flip_claims(problem, rate=0.05)
+        assert set(np.unique(flipped.claims.values)) <= {0, 1}
+        n_changed = int((flipped.claims.values != problem.claims.values).sum())
+        assert n_changed >= 1
+        # The original problem is untouched.
+        assert problem.claims.values.dtype == np.int8
+
+    def test_flip_claims_rejects_bad_rate(self, problem):
+        with pytest.raises(ValidationError):
+            FaultInjector(seed=0).flip_claims(problem, rate=0.0)
+
+    def test_byzantine_sources_invert_whole_rows(self, problem):
+        corrupted = FaultInjector(seed=1).byzantine_sources(problem, fraction=0.25)
+        diff_rows = np.where(
+            (corrupted.claims.values != problem.claims.values).any(axis=1)
+        )[0]
+        expected = max(1, int(round(0.25 * problem.n_sources)))
+        assert len(diff_rows) == expected
+        for row in diff_rows:
+            np.testing.assert_array_equal(
+                corrupted.claims.values[row], 1 - problem.claims.values[row]
+            )
+
+    def test_poison_claims_introduces_nan_without_touching_original(self, problem):
+        poisoned = FaultInjector(seed=2).poison_claims(problem, rate=0.05)
+        assert np.isnan(poisoned.claims.values).any()
+        assert not np.isnan(problem.claims.values.astype(float)).any()
+
+    def test_poison_dependency_introduces_nan(self, problem):
+        poisoned = FaultInjector(seed=2).poison_dependency(problem, rate=0.05)
+        assert np.isnan(poisoned.dependency.values).any()
+
+    def test_malformed_tweets_trip_the_loader(self, tmp_path):
+        dataset = simulate_dataset("superbug", scale=0.03, seed=5)
+        clean = tmp_path / "clean.jsonl"
+        save_tweets(dataset.tweets, clean)
+        lines = clean.read_text().splitlines()
+        corrupted = FaultInjector(seed=3).malform_tweet_lines(lines, rate=0.3)
+        assert corrupted != lines
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("\n".join(corrupted) + "\n")
+        with pytest.raises(DataError):
+            load_tweets(bad)
+
+
+class _EchoBackend:
+    """Minimal backend whose steps echo their inputs."""
+
+    def posterior(self, params):
+        return np.array([0.5])
+
+    def m_step(self, posterior, params):
+        return params
+
+    def e_step(self, params):
+        return np.array([0.5]), -1.0
+
+    def helper(self):
+        return "untouched"
+
+
+class TestBackendWrappers:
+    def test_flaky_backend_raises_on_chosen_calls_only(self):
+        backend = FlakyBackend(_EchoBackend(), fail_calls=(1,))
+        backend.m_step(None, "p")  # call 0 passes through
+        with pytest.raises(InjectedFault):
+            backend.m_step(None, "p")  # call 1 raises
+        backend.m_step(None, "p")  # call 2 passes again
+        assert backend.calls == 3
+
+    def test_flaky_backend_delegates_other_methods(self):
+        backend = FlakyBackend(_EchoBackend(), fail_calls=(0,))
+        assert backend.helper() == "untouched"
+        posterior, ll = backend.e_step("p")
+        assert ll == -1.0
+
+    def test_nan_likelihood_backend_poisons_chosen_e_steps(self):
+        backend = NaNLikelihoodBackend(_EchoBackend(), nan_calls=(0,))
+        _, first = backend.e_step("p")
+        _, second = backend.e_step("p")
+        assert np.isnan(first)
+        assert second == -1.0
+
+
+class TestChaosFinder:
+    def test_fails_on_chosen_fit_indices(self, problem):
+        cls = chaos_finder(
+            lambda seed: make_fact_finder("voting"), fail_fits=(1,), name="boom"
+        )
+        blind = problem.without_truth()
+        cls(seed=0).fit(blind)  # fit 0 succeeds
+        with pytest.raises(InjectedFault):
+            cls(seed=0).fit(blind)  # fit 1 dies (counter shared across instances)
+        result = cls(seed=0).fit(blind)  # fit 2 succeeds again
+        assert result.scores.shape == (problem.n_assertions,)
+
+    def test_temporary_algorithm_registers_and_restores(self):
+        cls = chaos_finder(lambda seed: make_fact_finder("voting"), name="temp-chaos")
+        assert "temp-chaos" not in ALGORITHM_REGISTRY
+        with temporary_algorithm(cls) as name:
+            assert name == "temp-chaos"
+            assert ALGORITHM_REGISTRY["temp-chaos"] is cls
+        assert "temp-chaos" not in ALGORITHM_REGISTRY
+
+    def test_temporary_algorithm_restores_shadowed_entry(self):
+        original = ALGORITHM_REGISTRY["voting"]
+        cls = chaos_finder(lambda seed: original(), name="voting")
+        with temporary_algorithm(cls):
+            assert ALGORITHM_REGISTRY["voting"] is cls
+        assert ALGORITHM_REGISTRY["voting"] is original

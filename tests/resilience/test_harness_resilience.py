@@ -1,0 +1,200 @@
+"""Trial isolation in the simulation harness: policies, ledger, telemetry."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import make_fact_finder
+from repro.engine import TelemetryRecorder
+from repro.eval import run_simulation, summarize_telemetry
+from repro.resilience import (
+    FailurePolicy,
+    InjectedFault,
+    chaos_finder,
+    temporary_algorithm,
+)
+from repro.resilience.policy import retry_seed
+from repro.synthetic import GeneratorConfig
+from repro.utils.errors import ValidationError
+
+pytestmark = pytest.mark.chaos
+
+CONFIG = GeneratorConfig(n_sources=10, n_assertions=30, n_trees=(4, 5))
+
+
+def _chaos(fail_fits=(), name="chaos-em"):
+    """A chaos wrapper around the independent EM baseline."""
+    return chaos_finder(
+        lambda seed: make_fact_finder("em", seed=seed),
+        fail_fits=fail_fits,
+        name=name,
+    )
+
+
+class TestFailurePolicies:
+    def test_fail_fast_propagates_the_injected_fault(self):
+        with temporary_algorithm(_chaos(fail_fits=(0,))) as name:
+            with pytest.raises(InjectedFault):
+                run_simulation(
+                    CONFIG,
+                    algorithms=("em", name),
+                    n_trials=3,
+                    seed=42,
+                    include_optimal=False,
+                )
+
+    def test_skip_policy_completes_with_populated_ledger(self):
+        # The chaos algorithm is killed on trial 1 (its fit #1); the
+        # harness must finish all trials for every other algorithm.
+        with temporary_algorithm(_chaos(fail_fits=(1,))) as name:
+            result = run_simulation(
+                CONFIG,
+                algorithms=("em", name),
+                n_trials=3,
+                seed=42,
+                include_optimal=False,
+                failure_policy=FailurePolicy.skip(),
+            )
+        assert len(result.series["em"].accuracy) == 3
+        assert len(result.series[name].accuracy) == 2
+        assert len(result.failures) == 1
+        failure = result.failures[0]
+        assert failure.trial == 1
+        assert failure.algorithm == name
+        assert failure.error_type == "InjectedFault"
+        assert failure.action == "skipped"
+        assert result.failure_counts() == {name: {"skipped": 1}}
+        assert result.n_skipped(name) == 1
+
+    def test_retry_policy_recovers_and_records_the_attempt(self):
+        # Fit #1 (trial 1, attempt 0) dies; the retry (fit #2) succeeds,
+        # so the series is complete and the ledger records one retry.
+        with temporary_algorithm(_chaos(fail_fits=(1,))) as name:
+            result = run_simulation(
+                CONFIG,
+                algorithms=(name,),
+                n_trials=3,
+                seed=42,
+                include_optimal=False,
+                failure_policy=FailurePolicy.retry(max_attempts=2),
+            )
+        assert len(result.series[name].accuracy) == 3
+        assert len(result.failures) == 1
+        assert result.failures[0].action == "retried"
+        assert result.n_skipped(name) == 0
+
+    def test_retry_exhaustion_skips_with_full_ledger(self):
+        # Trial 0 fails on the original attempt and both retries.
+        with temporary_algorithm(_chaos(fail_fits=(0, 1, 2))) as name:
+            result = run_simulation(
+                CONFIG,
+                algorithms=(name,),
+                n_trials=2,
+                seed=42,
+                include_optimal=False,
+                failure_policy=FailurePolicy.retry(max_attempts=3),
+            )
+        assert len(result.series[name].accuracy) == 1
+        actions = [f.action for f in result.failures]
+        assert actions == ["retried", "retried", "skipped"]
+
+    def test_invalid_policy_mode_rejected(self):
+        with pytest.raises(ValidationError):
+            FailurePolicy(mode="explode")
+        with pytest.raises(ValidationError):
+            FailurePolicy.retry(max_attempts=0)
+
+
+class TestDeterminismUnderFaults:
+    def test_surviving_series_match_a_fault_free_run(self):
+        """Fault-free algorithms are bit-identical whatever the policy."""
+        reference = run_simulation(
+            CONFIG,
+            algorithms=("em",),
+            n_trials=3,
+            seed=42,
+            include_optimal=False,
+        )
+        with temporary_algorithm(_chaos(fail_fits=(0, 1, 2))) as name:
+            chaotic = run_simulation(
+                CONFIG,
+                algorithms=("em", name),
+                n_trials=3,
+                seed=42,
+                include_optimal=False,
+                failure_policy=FailurePolicy.retry(max_attempts=1),
+            )
+        assert chaotic.series["em"].accuracy == reference.series["em"].accuracy
+        assert (
+            chaotic.series["em"].false_positive_rate
+            == reference.series["em"].false_positive_rate
+        )
+
+    def test_retry_seed_is_deterministic_and_leaves_attempt_zero_alone(self):
+        assert retry_seed(1234, 0) == 1234
+        assert retry_seed(1234, 1) == retry_seed(1234, 1)
+        assert retry_seed(1234, 1) != retry_seed(1234, 2)
+        assert retry_seed(1234, 1) != retry_seed(1235, 1)
+
+
+class TestTelemetryFailureCounts:
+    def test_summary_folds_in_the_ledger(self):
+        recorder = TelemetryRecorder()
+        with temporary_algorithm(_chaos(fail_fits=(1,))) as name:
+            result = run_simulation(
+                CONFIG,
+                algorithms=("em", name),
+                n_trials=3,
+                seed=42,
+                include_optimal=False,
+                telemetry=recorder,
+                failure_policy=FailurePolicy.skip(),
+            )
+        summary = summarize_telemetry(recorder.events, failures=result.failures)
+        assert summary.n_trial_failures == 1
+        assert summary.n_skipped == 1
+        assert summary.n_retried == 0
+        assert summary.n_iterations == len(recorder.events) > 0
+
+    def test_summary_defaults_to_zero_counts(self):
+        recorder = TelemetryRecorder()
+        run_simulation(
+            CONFIG,
+            algorithms=("em",),
+            n_trials=1,
+            seed=1,
+            include_optimal=False,
+            telemetry=recorder,
+        )
+        summary = summarize_telemetry(recorder.events)
+        assert summary.n_trial_failures == 0
+        assert summary.n_retried == 0
+        assert summary.n_skipped == 0
+
+
+class TestNonFiniteScoresArePolicyFailures:
+    def test_nan_scores_are_skipped_not_recorded(self):
+        class NaNFinder:
+            algorithm_name = "nan-finder"
+            accepts_trial_seed = True
+
+            def __init__(self, seed=None, **_kwargs):
+                self._seed = seed
+
+            def fit(self, problem):
+                inner = make_fact_finder("em", seed=self._seed).fit(problem)
+                poisoned = inner.scores.copy()
+                poisoned[0] = np.nan
+                object.__setattr__(inner, "scores", poisoned)
+                return inner
+
+        with temporary_algorithm(NaNFinder) as name:
+            result = run_simulation(
+                CONFIG,
+                algorithms=(name,),
+                n_trials=2,
+                seed=3,
+                include_optimal=False,
+                failure_policy=FailurePolicy.skip(),
+            )
+        assert result.series[name].accuracy == []
+        assert {f.error_type for f in result.failures} == {"DataError"}
