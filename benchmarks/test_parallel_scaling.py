@@ -1,0 +1,109 @@
+"""Scaling of the parallel execution layer: serial vs n_jobs in {1, 2, 4}.
+
+Runs the same reference simulation sweep under every worker count,
+asserts bit-for-bit parity, and writes the timings to
+``BENCH_parallel.json`` (path overridable via ``REPRO_BENCH_OUT``).
+
+The numbers are *honest*: on a single-core runner the process backend
+adds fork/pickle overhead and the speedup column sits at or below 1.0;
+the >= 1.5x at ``n_jobs=4`` shows up on multi-core CI runners and
+workstations.  Parity is asserted unconditionally; speedup is reported,
+not asserted, because it is a property of the machine.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.eval import run_simulation
+from repro.parallel import ParallelConfig, cpu_count
+from repro.synthetic import GeneratorConfig
+
+pytestmark = pytest.mark.slow
+
+#: Heavy enough that per-trial work dominates dispatch overhead: 24
+#: sources puts the Optimal ceiling on the Gibbs sampler, so each trial
+#: carries a real chain run besides its three EM fits.
+CONFIG = GeneratorConfig(n_sources=24, n_assertions=50, n_trees=(8, 10))
+N_TRIALS = 8
+SEED = 2016
+
+_DEFAULT_OUT = os.path.join(os.path.dirname(__file__), "..", "BENCH_parallel.json")
+
+
+def _series_dict(result):
+    return {
+        name: (
+            tuple(series.accuracy),
+            tuple(series.false_positive_rate),
+            tuple(series.false_negative_rate),
+        )
+        for name, series in result.series.items()
+    }
+
+
+def _timed_run(parallel):
+    start = time.perf_counter()
+    result = run_simulation(
+        CONFIG,
+        algorithms=("em", "em-ext"),
+        n_trials=N_TRIALS,
+        seed=SEED,
+        include_optimal=True,
+        parallel=parallel,
+    )
+    return time.perf_counter() - start, result
+
+
+def test_parallel_scaling_writes_bench_json():
+    variants = [
+        ("serial", None),
+        ("n_jobs=1", ParallelConfig(n_jobs=1)),
+        ("n_jobs=2", ParallelConfig(n_jobs=2)),
+        ("n_jobs=4", ParallelConfig(n_jobs=4)),
+    ]
+    timings = {}
+    reference = None
+    for label, parallel in variants:
+        seconds, result = _timed_run(parallel)
+        timings[label] = seconds
+        if reference is None:
+            reference = _series_dict(result)
+        else:
+            # The scaling exhibit is only meaningful because every row
+            # computes the *identical* result.
+            assert _series_dict(result) == reference, label
+
+    serial_seconds = timings["serial"]
+    report = {
+        "experiment": "run_simulation scaling, serial vs process fan-out",
+        "config": {
+            "n_sources": CONFIG.n_sources,
+            "n_assertions": CONFIG.n_assertions,
+            "n_trials": N_TRIALS,
+            "algorithms": ["em", "em-ext"],
+            "include_optimal": True,
+            "seed": SEED,
+        },
+        "machine": {"cpu_count": cpu_count()},
+        "timings_seconds": {k: round(v, 4) for k, v in timings.items()},
+        "speedup_vs_serial": {
+            k: round(serial_seconds / v, 3) for k, v in timings.items()
+        },
+        "parity": "all variants produced bit-identical series",
+    }
+    out_path = os.environ.get("REPRO_BENCH_OUT", _DEFAULT_OUT)
+    with open(out_path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+
+    print(f"\nparallel scaling ({cpu_count()} cores) -> {os.path.abspath(out_path)}")
+    for label, _ in variants:
+        print(
+            f"  {label:>8}: {timings[label]:7.2f}s "
+            f"(speedup {serial_seconds / timings[label]:5.2f}x)"
+        )
+
+    # Sanity, not speedup: every variant finished and was timed.
+    assert all(v > 0 for v in timings.values())

@@ -45,6 +45,7 @@ from repro.eval import (
 )
 from repro.datasets.summary import format_table, summarize_catalog
 from repro.io import load_problem, save_problem, save_result, save_tweets
+from repro.parallel import ParallelConfig
 from repro.synthetic import GeneratorConfig, empirical_parameters, generate_dataset
 from repro.utils.errors import ReproError
 
@@ -94,6 +95,11 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=("auto", "exact", "gibbs", "bhattacharyya"),
     )
     bound.add_argument("--seed", type=int, default=0)
+    bound.add_argument(
+        "--n-jobs", type=int, default=None, metavar="N",
+        help="shard Gibbs chains across N worker processes (-1: all "
+             "cores; results are identical for any N)",
+    )
 
     simulate = subparsers.add_parser(
         "simulate", help="simulate a Table III Twitter dataset"
@@ -109,6 +115,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "experiment", help="regenerate one of the paper's tables/figures"
     )
     experiment.add_argument("name", choices=_EXPERIMENTS)
+    experiment.add_argument(
+        "--n-jobs", type=int, default=None, metavar="N",
+        help="fan the experiment's trials (figs 7-10) or Gibbs chains "
+             "(figs 3-5) out across N worker processes (-1: all cores); "
+             "results are identical for any N",
+    )
     return parser
 
 
@@ -179,7 +191,11 @@ def _cmd_bound(args) -> int:
         result = exact_bound(dependency, params)
     else:
         result = gibbs_bound(
-            dependency, params, config=GibbsConfig(), seed=args.seed
+            dependency,
+            params,
+            config=GibbsConfig(),
+            seed=args.seed,
+            parallel=_parallel_config(args),
         )
     print(
         f"{result.method} bound: Err = {result.total:.6f} "
@@ -211,8 +227,18 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _parallel_config(args):
+    """``--n-jobs`` → a :class:`ParallelConfig` (``None`` when unset)."""
+    n_jobs = getattr(args, "n_jobs", None)
+    if n_jobs is None:
+        return None
+    return ParallelConfig(n_jobs=n_jobs)
+
+
 def _cmd_experiment(args) -> int:
     name = args.name
+    parallel = _parallel_config(args)
+    parallel_kwargs = {"parallel": parallel} if parallel is not None else {}
     if name == "table1":
         result = table1_walkthrough()
         print(f"Table I bound: {result.total:.8f} (paper: 0.26980433)")
@@ -226,7 +252,7 @@ def _cmd_experiment(args) -> int:
             "fig4": (figure4_bound_vs_trees, "tau"),
             "fig5": (figure5_bound_vs_odds, "dep-odds"),
         }[name]
-        print(format_bound_comparison(runner[0](), x_label=runner[1]))
+        print(format_bound_comparison(runner[0](**parallel_kwargs), x_label=runner[1]))
     elif name == "fig6":
         print(format_timing(figure6_bound_timing()))
     elif name in ("fig7", "fig8", "fig9", "fig10"):
@@ -236,7 +262,7 @@ def _cmd_experiment(args) -> int:
             "fig9": figure9_estimator_vs_trees,
             "fig10": figure10_estimator_vs_odds,
         }[name]
-        sweep = runner()
+        sweep = runner(**parallel_kwargs)
         print("accuracy:\n" + format_sweep(sweep, "accuracy"))
         print("\nfalse positive rate:\n" + format_sweep(sweep, "false_positive_rate"))
     else:  # fig11

@@ -24,7 +24,13 @@ package is the single implementation they all delegate to:
 
 Every future performance PR (batched multi-problem fitting, numba or
 multiprocessing backends) lands here, behind the same backend
-protocol, and all four public estimators pick it up for free.
+protocol, and all four public estimators pick it up for free.  The
+first such layer is process-based restart fan-out: hand
+:class:`~repro.parallel.ParallelConfig` to :class:`EMDriver` (or
+``EMDriver.from_config(..., parallel=...)``) and independent restarts
+run across worker processes with bit-for-bit serial parity (the
+initialisers consume the spawned restart generators in the parent, in
+serial order).
 """
 
 from repro.engine.backends import CSRBackend, DenseBackend, MaskedDenseBackend
@@ -52,6 +58,7 @@ from repro.engine.statistics import (
     ratio_update,
     stable_posterior,
 )
+from repro.parallel.config import ParallelConfig
 
 __all__ = [
     "CSRBackend",
@@ -61,6 +68,7 @@ __all__ = [
     "FAILED_STATUSES",
     "IterationEvent",
     "MaskedDenseBackend",
+    "ParallelConfig",
     "RATE_NAMES",
     "RESTART_STATUSES",
     "RestartReport",

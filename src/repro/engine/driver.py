@@ -41,7 +41,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -49,6 +49,9 @@ from repro.core.model import ParameterTrace
 from repro.engine.health import RestartReport, RunHealth
 from repro.utils.errors import ConvergenceError, ValidationError
 from repro.utils.rng import RandomState, SeedLike, spawn_rngs
+
+if TYPE_CHECKING:  # deferred to keep repro.parallel imports lazy
+    from repro.parallel.config import ParallelConfig
 
 #: Per-iteration callback; a truthy return value requests an early stop.
 IterationCallback = Callable[["IterationEvent"], Optional[bool]]
@@ -144,6 +147,7 @@ class EMDriver:
         callbacks: Sequence[IterationCallback] = (),
         strict: bool = False,
         max_wall_seconds: Optional[float] = None,
+        parallel: Optional["ParallelConfig"] = None,
     ):
         if max_wall_seconds is not None and max_wall_seconds <= 0:
             raise ValidationError(
@@ -155,10 +159,14 @@ class EMDriver:
         self.callbacks = tuple(callbacks)
         self.strict = strict
         self.max_wall_seconds = max_wall_seconds
+        self.parallel = parallel
 
     @classmethod
     def from_config(
-        cls, config, callbacks: Sequence[IterationCallback] = ()
+        cls,
+        config,
+        callbacks: Sequence[IterationCallback] = (),
+        parallel: Optional["ParallelConfig"] = None,
     ) -> "EMDriver":
         """Build from an :class:`~repro.core.em_ext.EMConfig`."""
         return cls(
@@ -168,6 +176,7 @@ class EMDriver:
             callbacks=callbacks,
             strict=getattr(config, "strict", False),
             max_wall_seconds=getattr(config, "max_wall_seconds", None),
+            parallel=parallel,
         )
 
     def run(
@@ -248,6 +257,12 @@ class EMDriver:
         :class:`~repro.utils.errors.ConvergenceError`; otherwise the
         last diverged outcome is returned best-effort (with
         ``converged=False`` and the health report attached).
+
+        When the driver was built with a
+        :class:`~repro.parallel.ParallelConfig`, restarts execute in
+        worker processes (``_parallel_candidates``) with bit-for-bit
+        identical results; wall-clock budgets are timing-dependent and
+        force the serial loop.
         """
         rng = RandomState(seed)
         health = RunHealth()
@@ -261,21 +276,26 @@ class EMDriver:
         )
         total_iterations = 0
         last_residual = float("nan")
-        for index, restart_rng in enumerate(spawn_rngs(rng, self.n_restarts)):
-            if deadline is not None and index > 0 and time.perf_counter() >= deadline:
-                health.budget_exhausted = True
-                break
-            try:
-                params = initialiser(index, restart_rng)
-                candidate = self.run(backend, params, deadline=deadline)
-            except Exception as error:  # per-restart fault isolation
+        use_parallel = (
+            self.parallel is not None
+            and self.max_wall_seconds is None
+            and self.n_restarts > 1
+        )
+        if use_parallel:
+            candidates = self._parallel_candidates(backend, initialiser, rng)
+        else:
+            candidates = self._serial_candidates(
+                backend, initialiser, rng, deadline, health
+            )
+        for index, candidate, error in candidates:
+            if error is not None:  # per-restart fault isolation
                 health.record(
                     RestartReport(
                         index=index,
                         status="error",
                         n_iterations=0,
                         log_likelihood=float("nan"),
-                        error=f"{type(error).__name__}: {error}",
+                        error=error,
                     )
                 )
                 continue
@@ -328,6 +348,82 @@ class EMDriver:
         fallback.converged = False
         fallback.health = health
         return fallback
+
+    # -- restart execution strategies -------------------------------------------
+
+    def _serial_candidates(
+        self, backend, initialiser, rng, deadline, health: RunHealth
+    ) -> Iterator[Tuple[int, Optional[DriverOutcome], Optional[str]]]:
+        """The historical in-process restart loop."""
+        for index, restart_rng in enumerate(spawn_rngs(rng, self.n_restarts)):
+            if deadline is not None and index > 0 and time.perf_counter() >= deadline:
+                health.budget_exhausted = True
+                return
+            try:
+                params = initialiser(index, restart_rng)
+                candidate = self.run(backend, params, deadline=deadline)
+            except Exception as error:
+                yield index, None, f"{type(error).__name__}: {error}"
+                continue
+            yield index, candidate, None
+
+    def _parallel_candidates(
+        self, backend, initialiser, rng
+    ) -> Iterator[Tuple[int, Optional[DriverOutcome], Optional[str]]]:
+        """Fan restarts out across worker processes.
+
+        Initialisers run in the *parent*, consuming the spawned restart
+        generators in exactly the serial order — the warm starts (and
+        therefore the outcome) are bit-for-bit those of a serial fit.
+        Workers only execute the deterministic EM loop; their telemetry
+        events are replayed through the parent's callbacks in restart
+        order (a callback's early-stop request cannot reach an
+        already-finished worker run and is ignored).
+        """
+        from repro.parallel.executor import parallel_map
+        from repro.parallel.merge import replay_events
+
+        prepared = []
+        init_errors = {}
+        for index, restart_rng in enumerate(spawn_rngs(rng, self.n_restarts)):
+            try:
+                prepared.append((index, initialiser(index, restart_rng)))
+            except Exception as error:
+                init_errors[index] = f"{type(error).__name__}: {error}"
+        payloads = [
+            (backend, params, self.max_iterations, self.tolerance)
+            for _, params in prepared
+        ]
+        results = parallel_map(_restart_worker, payloads, config=self.parallel)
+        by_index = {
+            index: result for (index, _), result in zip(prepared, results)
+        }
+        for index in range(self.n_restarts):
+            if index in init_errors:
+                yield index, None, init_errors[index]
+                continue
+            candidate, error, events = by_index[index]
+            replay_events(events, self.callbacks)
+            yield index, candidate, error
+
+
+def _restart_worker(payload):
+    """Run one restart's EM loop in a worker process (pool entry point).
+
+    Returns ``(outcome, error_message, events)`` — exceptions are
+    carried back as strings so one bad restart is isolated exactly as
+    in the serial loop instead of killing the pool.
+    """
+    backend, params, max_iterations, tolerance = payload
+    recorder = TelemetryRecorder()
+    driver = EMDriver(
+        max_iterations=max_iterations, tolerance=tolerance, callbacks=(recorder,)
+    )
+    try:
+        outcome = driver.run(backend, params)
+    except Exception as error:
+        return None, f"{type(error).__name__}: {error}", list(recorder.events)
+    return outcome, None, list(recorder.events)
 
 
 __all__ = [

@@ -30,6 +30,7 @@ from repro.core.em_ext import EMConfig
 from repro.datasets import DATASET_ORDER, get_spec, simulate_dataset
 from repro.engine.driver import TelemetryRecorder
 from repro.eval.harness import SweepResult, run_sweep
+from repro.parallel import ParallelConfig
 from repro.pipeline import SimulatedGrader, grade_top_k
 from repro.synthetic import GeneratorConfig, SyntheticGenerator, empirical_parameters
 from repro.utils.rng import RandomState, SeedLike, derive_seed
@@ -100,12 +101,15 @@ def bound_comparison_sweep(
     n_trials: Optional[int] = None,
     seed: SeedLike = 0,
     gibbs_config: Optional[GibbsConfig] = None,
+    parallel: Optional[ParallelConfig] = None,
 ) -> List[BoundComparisonRow]:
     """Shared engine of Figures 3–5: exact vs Gibbs bound along a sweep.
 
     For each x value, ``n_trials`` synthetic datasets are generated;
     both bounds are computed with oracle (empirically measured)
-    parameters and averaged.
+    parameters and averaged.  ``parallel`` shards each Gibbs bound's
+    chains across worker processes
+    (:func:`repro.bounds.gibbs.gibbs_bound`'s sharded mode).
     """
     n_trials = n_trials if n_trials is not None else bound_trials()
     gibbs_config = gibbs_config or GibbsConfig(min_sweeps=600, max_sweeps=6000)
@@ -122,7 +126,11 @@ def bound_comparison_sweep(
             dependency = dataset.problem.dependency.values
             exact = exact_bound(dependency, params)
             approx = gibbs_bound(
-                dependency, params, config=gibbs_config, seed=derive_seed(rng)
+                dependency,
+                params,
+                config=gibbs_config,
+                seed=derive_seed(rng),
+                parallel=parallel,
             )
             exact_parts += (
                 exact.total, exact.false_positive, exact.false_negative
@@ -248,6 +256,7 @@ def _estimator_sweep(
     seed: SeedLike = 0,
     include_optimal: bool = True,
     telemetry: Optional[TelemetryRecorder] = None,
+    parallel: Optional[ParallelConfig] = None,
 ) -> SweepResult:
     bound_config = (
         GibbsConfig(min_sweeps=400, max_sweeps=4000)
@@ -264,6 +273,7 @@ def _estimator_sweep(
         include_optimal=include_optimal,
         bound_config=bound_config,
         telemetry=telemetry,
+        parallel=parallel,
     )
 
 

@@ -20,6 +20,19 @@ Long sweeps must survive individual failures.  Two orthogonal layers:
   interrupted sweep resumes from the last completed trial and — because
   the harness replays the master RNG draws of completed trials — ends
   bit-for-bit identical to an uninterrupted run with the same seed.
+
+Parallelism
+-----------
+Trials are independent given their seeds, so ``parallel`` (a
+:class:`~repro.parallel.ParallelConfig`) fans the per-trial fitting and
+scoring out across worker processes.  The parent performs *every*
+master-RNG draw — dataset generation and trial/optimal seed derivation
+— in trial order before dispatch, and consumes worker results in trial
+order, so a parallel sweep is bit-for-bit identical to a serial one and
+composes unchanged with the failure policy, the ledger, and
+checkpoint/resume (the checkpoint loop sees the same ordered stream of
+completed trials).  Worker-side telemetry events are replayed into the
+parent's recorder in that same order.
 """
 
 from __future__ import annotations
@@ -35,6 +48,7 @@ from repro.bounds import GibbsConfig, MAX_EXACT_SOURCES, exact_bound, gibbs_boun
 from repro.core.em_ext import EMConfig
 from repro.engine.driver import TelemetryRecorder
 from repro.eval.metrics import ClassificationMetrics, score_result
+from repro.parallel import ParallelConfig, parallel_imap, replay_events
 from repro.resilience.checkpoint import (
     load_checkpoint,
     save_checkpoint,
@@ -150,6 +164,96 @@ def _optimal_metrics(problem, bound_config, exact_limit, seed) -> Classification
     )
 
 
+@dataclass(frozen=True)
+class _TrialTask:
+    """One trial's parent-derived inputs (picklable worker payload)."""
+
+    trial: int
+    problem: object  # SensingProblem with truth labels
+    trial_seed: int
+    optimal_seed: Optional[int]
+
+
+@dataclass(frozen=True)
+class _TrialSpec:
+    """Trial-invariant fitting instructions shared by every task."""
+
+    algorithms: Sequence[str]
+    include_optimal: bool
+    policy: FailurePolicy
+    em_config: Optional[EMConfig]
+    bound_config: GibbsConfig
+    exact_limit: int
+    record_events: bool
+
+
+@dataclass
+class _TrialOutcome:
+    """What one trial produced: metrics, ledger entries, telemetry."""
+
+    trial: int
+    metrics: List  # [(name, Optional[ClassificationMetrics]), ...]
+    failures: List[TrialFailure]
+    events: List
+
+
+def _run_trial(
+    task: _TrialTask, spec: _TrialSpec, telemetry=None
+) -> _TrialOutcome:
+    """Fit and score every algorithm of one trial (runs in a worker).
+
+    Failure handling is worker-local: under ``skip``/``retry`` the
+    ledger entries come back inside the outcome; under ``fail_fast``
+    the exception propagates (and, in a pool, is re-raised in the
+    parent on this trial's turn).
+    """
+    problem = task.problem
+    blind = problem.without_truth()
+    recorder = TelemetryRecorder() if spec.record_events else None
+    callbacks = telemetry if telemetry is not None else recorder
+    failures: List[TrialFailure] = []
+    metrics_by_name = []
+    for name in spec.algorithms:
+
+        def _fit_and_score(fit_seed: int, name: str = name) -> ClassificationMetrics:
+            finder = _make(name, fit_seed, spec.em_config, callbacks)
+            result = finder.fit(blind)
+            if not np.all(np.isfinite(result.scores)):
+                raise DataError(
+                    f"{name} produced non-finite scores on trial {task.trial}"
+                )
+            return score_result(result, problem.truth)
+
+        metrics = _attempt(
+            _fit_and_score, task.trial, name, task.trial_seed, spec.policy, failures
+        )
+        metrics_by_name.append((name, metrics))
+    if spec.include_optimal:
+        metrics = _attempt(
+            lambda s: _optimal_metrics(
+                problem, spec.bound_config, spec.exact_limit, s
+            ),
+            task.trial,
+            OPTIMAL_KEY,
+            task.optimal_seed,
+            spec.policy,
+            failures,
+        )
+        metrics_by_name.append((OPTIMAL_KEY, metrics))
+    return _TrialOutcome(
+        trial=task.trial,
+        metrics=metrics_by_name,
+        failures=failures,
+        events=list(recorder.events) if recorder is not None else [],
+    )
+
+
+def _trial_worker(payload) -> _TrialOutcome:
+    """Pool entry point: unpack one ``(task, spec)`` payload."""
+    task, spec = payload
+    return _run_trial(task, spec)
+
+
 def run_simulation(
     config: GeneratorConfig,
     *,
@@ -164,6 +268,7 @@ def run_simulation(
     failure_policy: Optional[FailurePolicy] = None,
     checkpoint_path: Optional[str] = None,
     checkpoint_interval: int = 1,
+    parallel: Optional[ParallelConfig] = None,
 ) -> SimulationResult:
     """Run the Section V-B experiment loop at one parameter point.
 
@@ -187,6 +292,11 @@ def run_simulation(
     completed trial and produces results identical to an uninterrupted
     run; a checkpoint of a different experiment raises
     :class:`~repro.utils.errors.DataError`.
+
+    ``parallel`` (a :class:`~repro.parallel.ParallelConfig`) fans the
+    per-trial fits out across worker processes; results are bit-for-bit
+    identical for any ``n_jobs`` (see the module docstring for the
+    determinism contract) and compose with every option above.
     """
     if n_trials <= 0:
         raise ValidationError(f"n_trials must be positive, got {n_trials}")
@@ -243,39 +353,45 @@ def run_simulation(
                 if include_optimal:
                     derive_seed(rng)
 
+    # Every master-RNG draw happens here, in trial order, regardless of
+    # how the fitting work is executed afterwards — this is the whole
+    # determinism contract of the parallel path.
+    tasks: List[_TrialTask] = []
     for trial in range(start_trial, n_trials):
         dataset = generator.generate()
-        problem = dataset.problem
-        blind = problem.without_truth()
-        trial_seed = derive_seed(rng)
-        for name in algorithms:
-
-            def _fit_and_score(fit_seed: int, name: str = name) -> ClassificationMetrics:
-                finder = _make(name, fit_seed, em_config, telemetry)
-                result = finder.fit(blind)
-                if not np.all(np.isfinite(result.scores)):
-                    raise DataError(
-                        f"{name} produced non-finite scores on trial {trial}"
-                    )
-                return score_result(result, problem.truth)
-
-            metrics = _attempt(
-                _fit_and_score, trial, name, trial_seed, policy, failures
+        tasks.append(
+            _TrialTask(
+                trial=trial,
+                problem=dataset.problem,
+                trial_seed=derive_seed(rng),
+                optimal_seed=derive_seed(rng) if include_optimal else None,
             )
+        )
+    spec = _TrialSpec(
+        algorithms=tuple(algorithms),
+        include_optimal=include_optimal,
+        policy=policy,
+        em_config=em_config,
+        bound_config=bound_config,
+        exact_limit=exact_limit,
+        record_events=parallel is not None and telemetry is not None,
+    )
+    if parallel is None:
+        # Serial path: the estimators call the caller's telemetry
+        # callback live (preserving its early-stop protocol).
+        outcomes = (_run_trial(task, spec, telemetry) for task in tasks)
+    else:
+        outcomes = parallel_imap(
+            _trial_worker, [(task, spec) for task in tasks], config=parallel
+        )
+    for outcome in outcomes:
+        if spec.record_events:
+            replay_events(outcome.events, (telemetry,))
+        for name, metrics in outcome.metrics:
             if metrics is not None:
                 series[name].record(metrics)
-        if include_optimal:
-            optimal_seed = derive_seed(rng)
-            metrics = _attempt(
-                lambda s: _optimal_metrics(problem, bound_config, exact_limit, s),
-                trial,
-                OPTIMAL_KEY,
-                optimal_seed,
-                policy,
-                failures,
-            )
-            if metrics is not None:
-                series[OPTIMAL_KEY].record(metrics)
+        failures.extend(outcome.failures)
+        trial = outcome.trial
         if checkpoint_path is not None and (
             (trial + 1) % checkpoint_interval == 0 or trial + 1 == n_trials
         ):

@@ -1,0 +1,120 @@
+"""Ordered process fan-out with fault and hang containment.
+
+:func:`parallel_imap` is the one primitive every parallel entry point in
+the library uses: map a picklable top-level function over a task list
+and yield the results *in task order*, streaming — result ``k`` is
+yielded as soon as tasks ``0..k`` are done, while later tasks are still
+running.  Ordered streaming is what lets the simulation harness keep
+its per-trial checkpointing loop unchanged under parallelism.
+
+Failure semantics:
+
+* a worker exception is re-raised in the parent on the failing task's
+  turn (the pool is terminated first, so no orphaned work keeps
+  burning CPU) — callers that want softer behaviour catch inside the
+  worker function, exactly as the serial code catches around the call;
+* a result that does not arrive within ``config.timeout_seconds``
+  *kills* the pool (``terminate``, not ``join``) and raises
+  :class:`WorkerTimeoutError`, so a wedged or deadlocked worker can
+  never hang the parent sweep.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Callable, Iterator, List, Sequence, TypeVar
+
+from repro.parallel.config import BACKEND_SERIAL, ParallelConfig
+from repro.utils.errors import ReproError
+
+TaskT = TypeVar("TaskT")
+ResultT = TypeVar("ResultT")
+
+
+class WorkerTimeoutError(ReproError):
+    """A worker result did not arrive within the configured timeout."""
+
+
+def _run_chunk(payload):
+    """Map one chunk of tasks in a worker (pool entry point).
+
+    Chunking is done here rather than via ``imap``'s ``chunksize``
+    because the stdlib wraps chunked results in a plain generator that
+    has no timed ``next`` — and the timeout guard needs one.
+    """
+    fn, chunk = payload
+    return [fn(task) for task in chunk]
+
+
+def parallel_imap(
+    fn: Callable[[TaskT], ResultT],
+    tasks: Sequence[TaskT],
+    *,
+    config: ParallelConfig,
+) -> Iterator[ResultT]:
+    """Yield ``fn(task)`` for every task, in order, possibly from workers.
+
+    ``fn`` must be a module-level (picklable) function when the process
+    backend is used.  With ``config.backend == "serial"`` or a single
+    effective worker the tasks run in-process through the *same* code
+    path, which is what makes ``n_jobs=1`` vs ``n_jobs=k`` parity tests
+    meaningful.
+    """
+    tasks = list(tasks)
+    if not tasks:
+        return
+    jobs = config.effective_jobs(len(tasks))
+    if config.backend == BACKEND_SERIAL or jobs <= 1:
+        for task in tasks:
+            yield fn(task)
+        return
+    size = config.chunk_size
+    chunks = [tasks[i : i + size] for i in range(0, len(tasks), size)]
+    context = multiprocessing.get_context(config.start_method)
+    pool = context.Pool(processes=jobs)
+    terminated = False
+    try:
+        iterator = pool.imap(_run_chunk, [(fn, chunk) for chunk in chunks])
+        for _ in range(len(chunks)):
+            try:
+                if config.timeout_seconds is None:
+                    results = iterator.next()
+                else:
+                    results = iterator.next(config.timeout_seconds)
+            except multiprocessing.TimeoutError:
+                pool.terminate()
+                terminated = True
+                raise WorkerTimeoutError(
+                    f"no worker result within {config.timeout_seconds}s "
+                    f"(pool of {jobs} terminated)"
+                ) from None
+            except Exception:
+                # Worker-raised exception: stop the remaining work before
+                # re-raising, so fail-fast semantics match the serial path.
+                pool.terminate()
+                terminated = True
+                raise
+            yield from results
+    except GeneratorExit:
+        # The consumer abandoned the stream (e.g. its own error path);
+        # don't make close() wait for work nobody will read.
+        pool.terminate()
+        terminated = True
+        raise
+    finally:
+        if not terminated:
+            pool.close()
+        pool.join()
+
+
+def parallel_map(
+    fn: Callable[[TaskT], ResultT],
+    tasks: Sequence[TaskT],
+    *,
+    config: ParallelConfig,
+) -> List[ResultT]:
+    """Eager form of :func:`parallel_imap`."""
+    return list(parallel_imap(fn, tasks, config=config))
+
+
+__all__ = ["WorkerTimeoutError", "parallel_imap", "parallel_map"]

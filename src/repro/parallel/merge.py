@@ -1,0 +1,60 @@
+"""Merging per-worker ledgers and telemetry back into the parent.
+
+Workers cannot append to the parent's :class:`TrialFailure` ledger or
+call the parent's telemetry callbacks directly, so every worker returns
+its locally accumulated records and the parent merges them *in task
+order* — which, because :func:`repro.parallel.executor.parallel_imap`
+yields in task order, reproduces exactly the sequence a serial run
+would have appended.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+RecordT = TypeVar("RecordT")
+
+
+def merge_ledgers(ledgers: Iterable[Sequence[RecordT]]) -> List[RecordT]:
+    """Concatenate per-worker record lists in the order given.
+
+    Used for :class:`~repro.resilience.policy.TrialFailure` ledgers and
+    :class:`~repro.engine.health.RestartReport` lists; feeding the
+    per-task ledgers in task order yields the serial append order.
+    """
+    merged: List[RecordT] = []
+    for ledger in ledgers:
+        merged.extend(ledger)
+    return merged
+
+
+def replay_events(
+    events: Iterable[RecordT],
+    callbacks: Sequence[Optional[Callable[[RecordT], object]]],
+) -> None:
+    """Deliver worker-recorded telemetry events to parent-side callbacks.
+
+    Events are replayed after the fact, so a callback's early-stop
+    return value (the :class:`~repro.engine.driver.IterationCallback`
+    protocol) cannot influence the already-finished worker run; the
+    returned values are ignored.  ``None`` entries are skipped so call
+    sites can pass an optional recorder straight through.
+    """
+    callbacks = [callback for callback in callbacks if callback is not None]
+    if not callbacks:
+        return
+    for event in events:
+        for callback in callbacks:
+            callback(event)
+
+
+def merge_counters(counters: Iterable[dict]) -> dict:
+    """Sum integer-valued counter dicts (e.g. per-worker failure counts)."""
+    merged: dict = {}
+    for counter in counters:
+        for key, value in counter.items():
+            merged[key] = merged.get(key, 0) + value
+    return merged
+
+
+__all__ = ["merge_counters", "merge_ledgers", "replay_events"]

@@ -1,0 +1,137 @@
+"""Fault containment under parallelism: worker failures must never hang.
+
+The failure mode these tests guard against: a worker process raises (or
+wedges) and the parent blocks forever on the pool.  Worker exceptions
+must surface — as :class:`~repro.resilience.policy.TrialFailure` ledger
+entries under ``skip``/``retry``, as the original exception under
+``fail_fast`` — and a wedged worker must be killed by the timeout
+guard, never waited on.
+"""
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.baselines import make_fact_finder
+from repro.core import FactFindingResult
+from repro.engine import DenseBackend, EMDriver, support_initialisation
+from repro.eval import run_simulation
+from repro.parallel import ParallelConfig, WorkerTimeoutError, parallel_imap
+from repro.resilience import (
+    FailurePolicy,
+    FlakyBackend,
+    InjectedFault,
+    temporary_algorithm,
+)
+from repro.synthetic import GeneratorConfig
+
+pytestmark = pytest.mark.chaos
+
+N_JOBS = int(os.environ.get("REPRO_TEST_N_JOBS", "2"))
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="workers must inherit the parent's algorithm registry (fork only)",
+)
+
+CONFIG = GeneratorConfig(n_sources=8, n_assertions=24, n_trees=(3, 4))
+
+#: Generous wall guard: these runs take seconds; a hang would eat it all.
+GUARD_SECONDS = 120.0
+
+
+class _FlakyEngineFinder:
+    """Runs the real EM engine, behind a FlakyBackend on even seeds.
+
+    The injected fault fires *inside the worker process*, deep in the
+    engine (the first ``m_step`` call), which is exactly the failure
+    the ledger must carry back across the process boundary.
+    """
+
+    algorithm_name = "flaky-engine"
+    accepts_trial_seed = True
+
+    def __init__(self, seed=None, **_kwargs):
+        self._seed = seed
+
+    def fit(self, problem):
+        backend = DenseBackend(problem)
+        if self._seed % 2 == 0:
+            backend = FlakyBackend(backend, fail_calls=(0,))
+        driver = EMDriver(max_iterations=60, tolerance=1e-6)
+        outcome = driver.run(backend, support_initialisation(backend))
+        return FactFindingResult(
+            algorithm=self.algorithm_name,
+            scores=outcome.posterior,
+            decisions=outcome.decisions,
+        )
+
+
+def _sleep_forever(_task):
+    time.sleep(600)
+
+
+def _reap_children(deadline_seconds=10.0):
+    """Wait briefly for terminated pool workers to be reaped."""
+    deadline = time.monotonic() + deadline_seconds
+    while multiprocessing.active_children() and time.monotonic() < deadline:
+        time.sleep(0.05)
+    return multiprocessing.active_children()
+
+
+@needs_fork
+class TestWorkerFaultsSurface:
+    def _run(self, parallel, policy):
+        with temporary_algorithm(_FlakyEngineFinder) as name:
+            return run_simulation(
+                CONFIG,
+                algorithms=("em", name),
+                n_trials=4,
+                seed=42,
+                include_optimal=False,
+                failure_policy=policy,
+                parallel=parallel,
+            )
+
+    def test_backend_faults_in_workers_become_ledger_entries(self):
+        start = time.monotonic()
+        parallel = ParallelConfig(
+            n_jobs=N_JOBS, start_method="fork", timeout_seconds=GUARD_SECONDS
+        )
+        pooled = self._run(parallel, FailurePolicy.skip())
+        serial = self._run(None, FailurePolicy.skip())
+        assert time.monotonic() - start < GUARD_SECONDS
+        # The faults fired inside workers, yet the ledger is exactly the
+        # serial one: same trials, same error type, same action.
+        assert [
+            (f.trial, f.algorithm, f.error_type, f.action) for f in pooled.failures
+        ] == [
+            (f.trial, f.algorithm, f.error_type, f.action) for f in serial.failures
+        ]
+        assert len(pooled.failures) > 0
+        assert all(f.error_type == "InjectedFault" for f in pooled.failures)
+        # The co-scheduled healthy algorithm still completed every trial.
+        assert len(pooled.series["em"].accuracy) == 4
+
+    def test_fail_fast_propagates_from_worker_without_hanging(self):
+        start = time.monotonic()
+        parallel = ParallelConfig(
+            n_jobs=N_JOBS, start_method="fork", timeout_seconds=GUARD_SECONDS
+        )
+        with pytest.raises(InjectedFault):
+            self._run(parallel, FailurePolicy.fail_fast())
+        assert time.monotonic() - start < GUARD_SECONDS
+        assert _reap_children() == []
+
+
+class TestTimeoutGuard:
+    def test_wedged_worker_is_killed_not_awaited(self):
+        config = ParallelConfig(n_jobs=2, timeout_seconds=2.0)
+        start = time.monotonic()
+        with pytest.raises(WorkerTimeoutError, match="terminated"):
+            list(parallel_imap(_sleep_forever, range(4), config=config))
+        # Far less than the 600 s the worker wanted to sleep.
+        assert time.monotonic() - start < 60.0
+        assert _reap_children() == []

@@ -20,7 +20,9 @@ PACKAGES = [
     "repro.extensions",
     "repro.io",
     "repro.network",
+    "repro.parallel",
     "repro.pipeline",
+    "repro.resilience",
     "repro.sparse",
     "repro.synthetic",
     "repro.utils",
