@@ -11,10 +11,15 @@ the total probability mass of the smaller joints,
         \\min\\{P(SC_j | C_j = 1; D, θ) z,\\;
                P(SC_j | C_j = 0; D, θ) (1 - z)\\}.
 
-This module enumerates all patterns with chunked, vectorised numpy, so
-``n`` up to the mid-20s is practical (matching the paper's Figure 3
-range of 5–25 sources).  Beyond :data:`MAX_EXACT_SOURCES` the call is
-refused — use the Gibbs approximation in :mod:`repro.bounds.gibbs`.
+The :math:`2^n` sweep runs through the Gray-code split-table kernel of
+:mod:`repro.kernels.enumeration` — ``O(2^n · K)`` for ``K`` distinct
+dependency columns instead of the historical ``O(2^n · n · K)`` chunked
+matrix products — so ``n`` up to the mid-20s is practical (matching the
+paper's Figure 3 range of 5–25 sources).  Beyond
+:data:`MAX_EXACT_SOURCES` the call is refused — use the Gibbs
+approximation in :mod:`repro.bounds.gibbs`.  Degenerate rates (exact
+0/1, impossible patterns) take a careful chunked fallback that reasons
+about the infinities explicitly.
 """
 
 from __future__ import annotations
@@ -25,12 +30,14 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.core.model import SourceParameters
+from repro.kernels.dedup import unique_columns
+from repro.kernels.enumeration import gray_pattern_masses, pattern_block
 from repro.utils.errors import ValidationError
 
 #: Refuse exact enumeration above this source count (2^30 patterns).
 MAX_EXACT_SOURCES = 30
 
-#: Patterns evaluated per vectorised chunk.
+#: Patterns evaluated per vectorised chunk (degenerate fallback path).
 _CHUNK = 1 << 16
 
 
@@ -98,10 +105,21 @@ def _emission_rates(
     return rate_true, rate_false
 
 
-def _pattern_chunk(start: int, stop: int, n: int) -> np.ndarray:
-    """0/1 matrix of the binary expansions of ``start..stop-1`` (LSB = source 0)."""
-    codes = np.arange(start, stop, dtype=np.int64)[:, None]
-    return ((codes >> np.arange(n, dtype=np.int64)) & 1).astype(np.float64)
+def _is_degenerate(rate_true: np.ndarray, rate_false: np.ndarray) -> bool:
+    """True when any rate sits exactly on 0/1 (impossible patterns exist)."""
+    return bool(
+        ((rate_true == 0) | (rate_true == 1)).any()
+        or ((rate_false == 0) | (rate_false == 1)).any()
+    )
+
+
+def _masses_to_result(fp_mass: float, fn_mass: float) -> BoundResult:
+    return BoundResult(
+        total=fp_mass + fn_mass,
+        false_positive=fp_mass,
+        false_negative=fn_mass,
+        method="exact",
+    )
 
 
 def exact_column_bound(
@@ -121,17 +139,42 @@ def exact_column_bound(
             f"exact bound needs 2^{n} pattern evaluations; refusing n > "
             f"{MAX_EXACT_SOURCES}. Use gibbs_column_bound instead."
         )
+    if _is_degenerate(rate_true, rate_false):
+        return _degenerate_column_bound(rate_true, rate_false, params.z)
+    with np.errstate(divide="ignore"):
+        log_z, log_1z = np.log(params.z), np.log1p(-params.z)
+    fp_mass, fn_mass = gray_pattern_masses(
+        np.log(rate_true)[:, None],
+        np.log1p(-rate_true)[:, None],
+        np.log(rate_false)[:, None],
+        np.log1p(-rate_false)[:, None],
+        log_z,
+        log_1z,
+    )
+    return _masses_to_result(float(fp_mass[0]), float(fn_mass[0]))
+
+
+def _degenerate_column_bound(
+    rate_true: np.ndarray, rate_false: np.ndarray, z: float
+) -> BoundResult:
+    """Chunked enumeration handling rates exactly at 0/1.
+
+    Impossible patterns (a claim where the rate is 0, silence where it
+    is 1) carry ``-inf`` log joints; the matrix products stay NaN-free
+    by masking the infinities out and re-applying them per pattern.
+    """
+    n = rate_true.size
     with np.errstate(divide="ignore"):
         log_r1, log_1r1 = np.log(rate_true), np.log1p(-rate_true)
         log_r0, log_1r0 = np.log(rate_false), np.log1p(-rate_false)
-        log_z, log_1z = np.log(params.z), np.log1p(-params.z)
+        log_z, log_1z = np.log(z), np.log1p(-z)
 
     fp_mass = 0.0
     fn_mass = 0.0
     total_patterns = 1 << n
     for start in range(0, total_patterns, _CHUNK):
         stop = min(start + _CHUNK, total_patterns)
-        patterns = _pattern_chunk(start, stop, n)
+        patterns = pattern_block(start, stop, n)
         with np.errstate(invalid="ignore"):
             log_joint_true = (
                 patterns @ _finite(log_r1) + (1.0 - patterns) @ _finite(log_1r1)
@@ -149,12 +192,7 @@ def exact_column_bound(
         decide_true = joint_true > joint_false
         fp_mass += float(joint_false[decide_true].sum())
         fn_mass += float(joint_true[~decide_true].sum())
-    return BoundResult(
-        total=fp_mass + fn_mass,
-        false_positive=fp_mass,
-        false_negative=fn_mass,
-        method="exact",
-    )
+    return _masses_to_result(fp_mass, fn_mass)
 
 
 def _finite(log_values: np.ndarray) -> np.ndarray:
@@ -181,9 +219,9 @@ def exact_bound(
 
     Columns with identical dependency patterns share a bound, so the
     computation groups unique columns first and then evaluates *all*
-    unique columns together inside each pattern chunk — one wide matrix
-    product per chunk instead of one narrow product per column, which
-    is what keeps the paper's n = 25 sweeps tractable.
+    unique columns together inside the Gray-code sweep — one wide
+    incremental update per pattern instead of one enumeration per
+    column, which is what keeps the paper's n = 25 sweeps tractable.
     """
     dep = np.asarray(dependency)
     if dep.ndim == 1:
@@ -203,9 +241,8 @@ def exact_bound(
     degenerate = False
     for index, column in enumerate(unique_cols):
         rate_true[:, index], rate_false[:, index] = _emission_rates(column, params)
-        degenerate = degenerate or bool(
-            ((rate_true[:, index] == 0) | (rate_true[:, index] == 1)).any()
-            or ((rate_false[:, index] == 0) | (rate_false[:, index] == 1)).any()
+        degenerate = degenerate or _is_degenerate(
+            rate_true[:, index], rate_false[:, index]
         )
     if degenerate:
         # Rare corner (rates exactly 0/1): fall back to the careful
@@ -222,30 +259,19 @@ def exact_bound(
             total=total, false_positive=fp, false_negative=fn, method="exact"
         )
 
-    with np.errstate(divide="ignore"):
-        log_r1, log_1r1 = np.log(rate_true), np.log1p(-rate_true)
-        log_r0, log_1r0 = np.log(rate_false), np.log1p(-rate_false)
-        log_z, log_1z = np.log(params.z), np.log1p(-params.z)
-    fp_mass = np.zeros(k)
-    fn_mass = np.zeros(k)
-    total_patterns = 1 << n
-    for start in range(0, total_patterns, _CHUNK):
-        stop = min(start + _CHUNK, total_patterns)
-        patterns = _pattern_chunk(start, stop, n)
-        complement = 1.0 - patterns
-        log_joint_true = patterns @ log_r1 + complement @ log_1r1
-        log_joint_false = patterns @ log_r0 + complement @ log_1r0
-        joint_true = np.exp(log_joint_true + log_z)
-        joint_false = np.exp(log_joint_false + log_1z)
-        decide_true = joint_true > joint_false
-        fp_mass += np.where(decide_true, joint_false, 0.0).sum(axis=0)
-        fn_mass += np.where(decide_true, 0.0, joint_true).sum(axis=0)
+    log_z, log_1z = float(np.log(params.z)), float(np.log1p(-params.z))
+    fp_mass, fn_mass = gray_pattern_masses(
+        np.log(rate_true),
+        np.log1p(-rate_true),
+        np.log(rate_false),
+        np.log1p(-rate_false),
+        log_z,
+        log_1z,
+    )
     weights = counts / dep.shape[1]
     fp = float(np.sum(weights * fp_mass))
     fn = float(np.sum(weights * fn_mass))
-    return BoundResult(
-        total=fp + fn, false_positive=fp, false_negative=fn, method="exact"
-    )
+    return _masses_to_result(fp, fn)
 
 
 def bound_from_pattern_table(
@@ -280,10 +306,12 @@ def bound_from_pattern_table(
 
 
 def _unique_columns(matrix: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-    """Unique columns of a 2-D matrix with their multiplicities."""
-    transposed = np.ascontiguousarray(matrix.T)
-    unique, counts = np.unique(transposed, axis=0, return_counts=True)
-    return unique, counts
+    """Unique columns of a 2-D matrix with their multiplicities.
+
+    Thin alias for :func:`repro.kernels.dedup.unique_columns`, kept
+    under the historical private name for the other bound modules.
+    """
+    return unique_columns(matrix)
 
 
 __all__ = [

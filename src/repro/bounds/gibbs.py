@@ -22,10 +22,17 @@ Two estimator modes are offered (DESIGN.md §5.1):
   it is biased (its limit is ``E_p[min]/E_p[p]``, not ``Σ min``).
 
 Implementation note: a problem has one bound per *distinct* dependency
-column, so the sampler runs one chain per unique column and advances
-all chains simultaneously with vectorised conditional updates — the
-Python-level loop is only ``sweeps × n_sources`` regardless of how many
-columns (chains) are in flight.
+column, so the sampler runs one chain per unique column.  Chains are
+advanced by the blocked vectorised sweeps of
+:class:`repro.kernels.gibbs.BlockedGibbsChains` — each sweep draws the
+latent truth from its exact conditional and then redraws the whole
+claim block at once, so a sweep is a handful of ndarray operations with
+no Python loop over sources.  All rate clamps, log tables and column
+weights are hoisted into :class:`~repro.kernels.gibbs.GibbsTables`,
+built once per run.  (The historical per-source scan sampler survives
+as :mod:`repro.kernels.reference` for the benchmark harness; the two
+kernels target the same marginal and agree within Monte-Carlo error,
+but draw different random streams.)
 
 Passing ``parallel`` (a :class:`~repro.parallel.ParallelConfig`)
 switches to the *sharded* sampler: each distinct dependency column gets
@@ -35,7 +42,7 @@ bounds are merged by column multiplicity.  Because the shard
 decomposition and child seeds depend only on the problem and the master
 seed — never on ``n_jobs`` — a sharded run is bit-for-bit identical for
 any worker count (the joint default sampler, which advances all chains
-under one RNG, remains the byte-stable historical path).
+under one RNG, remains the byte-stable single-process path).
 """
 
 from __future__ import annotations
@@ -47,6 +54,7 @@ import numpy as np
 
 from repro.bounds.exact import BoundResult, _emission_rates, _unique_columns
 from repro.core.model import SourceParameters
+from repro.kernels.gibbs import RATE_EPS, BlockedGibbsChains, GibbsTables
 from repro.parallel.config import ParallelConfig
 from repro.parallel.executor import parallel_map
 from repro.utils.errors import ValidationError
@@ -55,8 +63,9 @@ from repro.utils.validation import check_in_choices, check_positive_int
 
 _MODES = ("posterior-mean", "ratio")
 
-#: Rate clamp keeping every chain irreducible for degenerate θ.
-_RATE_EPS = 1e-12
+#: Re-exported for backwards compatibility; the clamp itself now lives
+#: with the kernel (:data:`repro.kernels.gibbs.RATE_EPS`).
+_RATE_EPS = RATE_EPS
 
 
 @dataclass(frozen=True)
@@ -68,6 +77,11 @@ class GibbsConfig:
     running aggregate estimate is compared with its previous checkpoint
     and sampling stops once the change falls below ``tolerance``
     (Algorithm 1's "while Err not convergent").
+
+    Field types are validated strictly at construction: the integer
+    fields reject booleans (``True`` is a valid Python ``int`` but a
+    sweep count of ``True`` is always a caller bug), ``tolerance`` must
+    be a real number and ``collect_trace`` an actual bool.
     """
 
     burn_in: int = 100
@@ -79,97 +93,42 @@ class GibbsConfig:
     collect_trace: bool = False
 
     def __post_init__(self) -> None:
+        for name in ("burn_in", "min_sweeps", "max_sweeps", "check_interval"):
+            value = getattr(self, name)
+            if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+                raise ValidationError(
+                    f"{name} must be an integer, got {value!r} ({type(value).__name__})"
+                )
         for name in ("min_sweeps", "max_sweeps", "check_interval"):
             check_positive_int(getattr(self, name), name)
         if self.burn_in < 0:
             raise ValidationError(f"burn_in must be non-negative, got {self.burn_in}")
         if self.min_sweeps > self.max_sweeps:
             raise ValidationError("min_sweeps must not exceed max_sweeps")
+        if isinstance(self.tolerance, bool) or not isinstance(
+            self.tolerance, (int, float, np.floating, np.integer)
+        ):
+            raise ValidationError(
+                f"tolerance must be a number, got {self.tolerance!r} "
+                f"({type(self.tolerance).__name__})"
+            )
         if not self.tolerance > 0:
             raise ValidationError(f"tolerance must be positive, got {self.tolerance}")
         check_in_choices(self.mode, "mode", _MODES)
+        if not isinstance(self.collect_trace, bool):
+            raise ValidationError(
+                f"collect_trace must be a bool, got {self.collect_trace!r}"
+            )
 
 
-class _ParallelChains:
-    """K Gibbs chains (one per distinct dependency column) advanced together.
+def _accumulate_bound(chains, weights: np.ndarray, config: GibbsConfig) -> BoundResult:
+    """Advance chains, accumulate Equation (6), stop on convergence.
 
-    ``rate_true`` / ``rate_false`` are ``(K, n)``; the state is a
-    ``(K, n)`` 0/1 matrix.  Running per-chain log-likelihood sums make a
-    single source update O(K); they are recomputed each sweep to kill
-    floating-point drift.
+    ``chains`` is any object with ``sweep()``/``joints()``/``n_chains``
+    — the blocked kernel in production, the frozen scan sampler in the
+    benchmark harness.  The accumulation (the estimator itself) is
+    identical for both.
     """
-
-    def __init__(
-        self,
-        rate_true: np.ndarray,
-        rate_false: np.ndarray,
-        z: float,
-        rng: np.random.Generator,
-    ):
-        self.rate_true = np.clip(rate_true, _RATE_EPS, 1 - _RATE_EPS)
-        self.rate_false = np.clip(rate_false, _RATE_EPS, 1 - _RATE_EPS)
-        z = float(np.clip(z, _RATE_EPS, 1 - _RATE_EPS))
-        self.log_z = float(np.log(z))
-        self.log_1z = float(np.log1p(-z))
-        self.n_chains, self.n_sources = self.rate_true.shape
-        self.rng = rng
-        self.state = (rng.random(self.rate_true.shape) < 0.5).astype(bool)
-        self._log_r1 = np.log(self.rate_true)
-        self._log_1r1 = np.log1p(-self.rate_true)
-        self._log_r0 = np.log(self.rate_false)
-        self._log_1r0 = np.log1p(-self.rate_false)
-        self._like_true = np.zeros(self.n_chains)
-        self._like_false = np.zeros(self.n_chains)
-        self._refresh_likelihoods()
-
-    def _refresh_likelihoods(self) -> None:
-        self._like_true = np.where(self.state, self._log_r1, self._log_1r1).sum(axis=1)
-        self._like_false = np.where(self.state, self._log_r0, self._log_1r0).sum(
-            axis=1
-        )
-
-    def sweep(self) -> None:
-        """One full sweep: resample every source's bit in every chain."""
-        self._refresh_likelihoods()
-        uniforms = self.rng.random((self.n_sources, self.n_chains))
-        for i in range(self.n_sources):
-            bit = self.state[:, i]
-            cell_true = np.where(bit, self._log_r1[:, i], self._log_1r1[:, i])
-            cell_false = np.where(bit, self._log_r0[:, i], self._log_1r0[:, i])
-            rest_true = self._like_true - cell_true + self.log_z
-            rest_false = self._like_false - cell_false + self.log_1z
-            top = np.maximum(rest_true, rest_false)
-            w_true = np.exp(rest_true - top)
-            w_false = np.exp(rest_false - top)
-            r1 = self.rate_true[:, i]
-            r0 = self.rate_false[:, i]
-            mass_one = w_true * r1 + w_false * r0
-            mass_zero = w_true * (1 - r1) + w_false * (1 - r0)
-            new_bit = uniforms[i] < mass_one / (mass_one + mass_zero)
-            new_cell_true = np.where(new_bit, self._log_r1[:, i], self._log_1r1[:, i])
-            new_cell_false = np.where(new_bit, self._log_r0[:, i], self._log_1r0[:, i])
-            self._like_true += new_cell_true - cell_true
-            self._like_false += new_cell_false - cell_false
-            self.state[:, i] = new_bit
-
-    def joints(self) -> tuple:
-        """Per-chain joint masses ``(P(s, C=1), P(s, C=0))``, each ``(K,)``."""
-        return (
-            np.exp(self._like_true + self.log_z),
-            np.exp(self._like_false + self.log_1z),
-        )
-
-
-def _run_sampler(
-    rate_true: np.ndarray,
-    rate_false: np.ndarray,
-    z: float,
-    weights: np.ndarray,
-    config: GibbsConfig,
-    rng: np.random.Generator,
-) -> BoundResult:
-    """Advance all chains, accumulate Equation (6), stop on convergence."""
-    chains = _ParallelChains(rate_true, rate_false, z, rng)
     for _ in range(config.burn_in):
         chains.sweep()
 
@@ -236,6 +195,16 @@ def _run_sampler(
     )
 
 
+def _run_sampler(
+    tables: GibbsTables,
+    weights: np.ndarray,
+    config: GibbsConfig,
+    rng: np.random.Generator,
+) -> BoundResult:
+    """Run the blocked chains for prebuilt tables to convergence."""
+    return _accumulate_bound(BlockedGibbsChains(tables, rng), weights, config)
+
+
 def _safe_frac(part: float, whole: float) -> float:
     return part / whole if whole > 0 else 0.5
 
@@ -268,11 +237,14 @@ def _aggregate(
 
 
 def _column_worker(payload) -> BoundResult:
-    """Run one column's chain to convergence (pool entry point)."""
-    rate_true, rate_false, z, config, rng = payload
-    return _run_sampler(
-        rate_true[None, :], rate_false[None, :], z, np.ones(1), config, rng
-    )
+    """Run one column's chain to convergence (pool entry point).
+
+    The payload carries an already-built single-row
+    :class:`~repro.kernels.gibbs.GibbsTables` — clamping and log-taking
+    happened once in the parent, not per worker.
+    """
+    tables, config, rng = payload
+    return _run_sampler(tables, np.ones(1), config, rng)
 
 
 def merge_column_bounds(
@@ -303,20 +275,17 @@ def merge_column_bounds(
 
 
 def _sharded_bound(
-    rate_true: np.ndarray,
-    rate_false: np.ndarray,
-    z: float,
+    tables: GibbsTables,
     weights: np.ndarray,
     config: GibbsConfig,
     seed: SeedLike,
     parallel: ParallelConfig,
 ) -> BoundResult:
     """One independent chain per distinct column, fanned out and merged."""
-    n_columns = rate_true.shape[0]
+    n_columns = tables.n_chains
     rngs = spawn_rngs(seed, n_columns)
     payloads: List[tuple] = [
-        (rate_true[index], rate_false[index], z, config, rngs[index])
-        for index in range(n_columns)
+        (tables.row(index), config, rngs[index]) for index in range(n_columns)
     ]
     results = parallel_map(_column_worker, payloads, config=parallel)
     return merge_column_bounds(results, weights)
@@ -354,13 +323,10 @@ def gibbs_bound(
     rate_false = np.empty_like(rate_true)
     for index, column in enumerate(columns):
         rate_true[index], rate_false[index] = _emission_rates(column, params)
+    tables = GibbsTables.build(rate_true, rate_false, params.z)
     if parallel is not None:
-        return _sharded_bound(
-            rate_true, rate_false, params.z, weights, config, seed, parallel
-        )
-    return _run_sampler(
-        rate_true, rate_false, params.z, weights, config, RandomState(seed)
-    )
+        return _sharded_bound(tables, weights, config, seed, parallel)
+    return _run_sampler(tables, weights, config, RandomState(seed))
 
 
 def gibbs_column_bound(

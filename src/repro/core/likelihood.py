@@ -21,9 +21,27 @@ import numpy as np
 
 from repro.core.matrix import SensingProblem
 from repro.core.model import SourceParameters
+from repro.kernels.likelihood import dense_column_log_likelihoods
+from repro.kernels.tables import LogParameterTables
 from repro.utils.errors import ValidationError
 
 ArrayLike = Union[np.ndarray, list]
+
+
+def _log_z_pair(z: float) -> Tuple[float, float]:
+    """``(log z, log(1-z))`` without an errstate round-trip.
+
+    The scalar logs only hit the ``divide`` warning at the closed
+    endpoints, which are handled explicitly; ``log1p(-z)`` is kept for
+    the complement (``log(1 - z)`` would round ``1 - z`` first).
+    """
+    log_z = float(np.log(z)) if z != 0.0 else float("-inf")
+    log_1z = float(np.log1p(-z)) if z != 1.0 else float("-inf")
+    return log_z, log_1z
+
+
+def _is_binary(values: np.ndarray) -> bool:
+    return bool(((values == 0) | (values == 1)).all())
 
 
 def emission_probability(
@@ -102,6 +120,13 @@ def column_log_likelihoods(
         raise ValidationError(
             f"matrix has {n} sources but parameters describe {params.n_sources}"
         )
+    if sc.ndim == 2:
+        tables = LogParameterTables.build(params)
+        if tables.finite and _is_binary(sc) and _is_binary(d):
+            # Fast path: SC and D are 0/1, so every multiply-add below is
+            # an exact selection — the table-select kernel returns the
+            # bitwise-identical sums with fewer array passes.
+            return dense_column_log_likelihoods(sc != 0, d != 0, tables)
     log_p1_t, log_p0_t, log_p1_f, log_p0_f = _emission_log_rates(d, params)
     log_true = sc * log_p1_t + (1.0 - sc) * log_p0_t
     log_false = sc * log_p1_f + (1.0 - sc) * log_p0_f
@@ -144,17 +169,21 @@ def posterior_from_log_likelihoods(
     log_true: np.ndarray, log_false: np.ndarray, z: float
 ) -> np.ndarray:
     """Stable Bayes posterior from per-column log likelihoods and prior ``z``."""
-    with np.errstate(divide="ignore"):
-        joint_true = np.asarray(log_true, dtype=np.float64) + np.log(z)
-        joint_false = np.asarray(log_false, dtype=np.float64) + np.log1p(-z)
+    log_z, log_1z = _log_z_pair(z)
+    joint_true = np.asarray(log_true, dtype=np.float64) + log_z
+    joint_false = np.asarray(log_false, dtype=np.float64) + log_1z
     top = np.maximum(joint_true, joint_false)
+    if np.isfinite(top).all():
+        # Hot path (every EM iteration lands here): at least one joint
+        # per column is finite, so the log-sum-exp needs no guards.
+        num = np.exp(joint_true - top)
+        return num / (num + np.exp(joint_false - top))
     # Columns where both joints are -inf (possible when z ∈ {0,1} meets a
     # zero-probability pattern) get an uninformative 0.5 posterior.
     with np.errstate(invalid="ignore"):
         num = np.exp(joint_true - top)
         den = num + np.exp(joint_false - top)
-    posterior = np.where(np.isfinite(top), num / den, 0.5)
-    return posterior
+        return np.where(np.isfinite(top), num / den, 0.5)
 
 
 def data_log_likelihood(problem: SensingProblem, params: SourceParameters) -> float:
@@ -166,9 +195,21 @@ def data_log_likelihood(problem: SensingProblem, params: SourceParameters) -> fl
     log_true, log_false = column_log_likelihoods(
         problem.claims.values, problem.dependency.values, params
     )
-    with np.errstate(divide="ignore"):
-        joint_true = log_true + np.log(params.z)
-        joint_false = log_false + np.log1p(-params.z)
+    return log_likelihood_from_log_columns(log_true, log_false, params.z)
+
+
+def log_likelihood_from_log_columns(
+    log_true: np.ndarray, log_false: np.ndarray, z: float
+) -> float:
+    """Equation (7) from per-column log likelihoods and the prior ``z``.
+
+    The stable log-sum-exp tail shared by :func:`data_log_likelihood`
+    and the engine backends, letting an E-step reuse one likelihood
+    pass for both the posterior and :math:`\\mathcal{L}`.
+    """
+    log_z, log_1z = _log_z_pair(z)
+    joint_true = np.asarray(log_true, dtype=np.float64) + log_z
+    joint_false = np.asarray(log_false, dtype=np.float64) + log_1z
     top = np.maximum(joint_true, joint_false)
     safe_top = np.where(np.isfinite(top), top, 0.0)
     column_ll = safe_top + np.log(
@@ -181,6 +222,7 @@ __all__ = [
     "column_log_likelihoods",
     "data_log_likelihood",
     "emission_probability",
+    "log_likelihood_from_log_columns",
     "pattern_log_joint",
     "posterior_from_log_likelihoods",
     "posterior_truth",

@@ -63,6 +63,24 @@ class SourceParameters:
             )
         object.__setattr__(self, "z", check_probability(self.z, "z"))
 
+    @classmethod
+    def _trusted(
+        cls, a: np.ndarray, b: np.ndarray, f: np.ndarray, g: np.ndarray, z: float
+    ) -> "SourceParameters":
+        """Construct without re-validation, for provably-valid inputs.
+
+        Only for internal call sites whose arrays are fresh float64
+        vectors already known to lie in ``[0, 1]`` (e.g. the output of
+        :meth:`clamp`); the arrays are adopted, not copied.
+        """
+        self = object.__new__(cls)
+        object.__setattr__(self, "a", a)
+        object.__setattr__(self, "b", b)
+        object.__setattr__(self, "f", f)
+        object.__setattr__(self, "g", g)
+        object.__setattr__(self, "z", z)
+        return self
+
     @property
     def n_sources(self) -> int:
         """Number of sources described by this parameter set."""
@@ -111,14 +129,20 @@ class SourceParameters:
             raise ValidationError(f"epsilon must be in (0, 0.5), got {epsilon}")
 
         def _clip(x: np.ndarray) -> np.ndarray:
-            return np.clip(x, epsilon, 1.0 - epsilon)
+            # np.clip's own definition, minus its dispatch overhead —
+            # clamp runs once per EM iteration.
+            return np.minimum(np.maximum(x, epsilon), 1.0 - epsilon)
 
-        return SourceParameters(
+        # The clipped arrays are fresh float64 vectors inside [ε, 1-ε]
+        # by construction (self was validated at its own construction),
+        # so the usual __post_init__ re-validation would be redundant
+        # work on the hot M-step path.
+        return SourceParameters._trusted(
             a=_clip(self.a),
             b=_clip(self.b),
             f=_clip(self.f),
             g=_clip(self.g),
-            z=float(np.clip(self.z, epsilon, 1.0 - epsilon)),
+            z=float(np.minimum(np.maximum(self.z, epsilon), 1.0 - epsilon)),
         )
 
     def is_finite(self) -> bool:
@@ -148,12 +172,15 @@ class SourceParameters:
                 "cannot compare parameter sets for different source counts: "
                 f"{self.n_sources} vs {other.n_sources}"
             )
-        diffs = [
-            float(np.max(np.abs(getattr(self, name) - getattr(other, name))))
-            if self.n_sources
-            else 0.0
-            for name in ("a", "b", "f", "g")
-        ]
+        if self.n_sources:
+            diffs = [
+                float(np.abs(self.a - other.a).max()),
+                float(np.abs(self.b - other.b).max()),
+                float(np.abs(self.f - other.f).max()),
+                float(np.abs(self.g - other.g).max()),
+            ]
+        else:
+            diffs = []
         diffs.append(abs(self.z - other.z))
         return max(diffs)
 

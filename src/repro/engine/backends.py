@@ -20,15 +20,39 @@ Three backends cover the library: :class:`DenseBackend` (ndarray),
 :class:`MaskedDenseBackend` (the two-parameter independence model used
 by the EM / EM-Social baselines).  Dense and CSR produce the same
 fixed points; they differ only in float summation order.
+
+All three route their hot paths through :mod:`repro.kernels`:
+
+* masked claim products (``SC⊙(1-D)``, ``SC⊙D``, ``SC⊙mask``) are
+  precomputed once at construction instead of once per M-step;
+* log-parameter tables are built once per θ object and cached by
+  identity (θ is immutable and fresh each M-step, so the cache can
+  never go stale — see :mod:`repro.kernels.tables`);
+* per-column log-likelihoods are computed by the select-based kernels
+  of :mod:`repro.kernels.likelihood`, over the *unique* ``(SC, D)``
+  column pairs when the problem repeats columns
+  (:mod:`repro.kernels.dedup`), and cached per θ so an ``e_step``
+  immediately following a ``posterior`` with the same θ reuses one
+  likelihood pass.
+
+Every transformation is an exact selection or a reordering-free reuse
+on the 0/1 matrices, so the backends remain bit-for-bit compatible
+with the pre-kernel implementations (pinned by the parity suites).
+Degenerate, unclamped parameters (rates exactly 0/1) fall back to the
+careful legacy paths.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.core.likelihood import data_log_likelihood, posterior_truth
+from repro.core.likelihood import (
+    column_log_likelihoods,
+    log_likelihood_from_log_columns,
+    posterior_from_log_likelihoods,
+)
 from repro.core.matrix import SensingProblem
 from repro.core.model import DEFAULT_EPSILON, SourceParameters
 from repro.engine.statistics import (
@@ -37,7 +61,51 @@ from repro.engine.statistics import (
     ratio_update,
     stable_posterior,
 )
+from repro.kernels.dedup import ColumnGroups, group_paired_columns
+from repro.kernels.likelihood import (
+    coded_dense_column_log_likelihoods,
+    coded_masked_column_log_likelihoods,
+    flat_claim_codes,
+)
+from repro.kernels.tables import (
+    IndependenceLogTables,
+    LogParameterTables,
+    ParamsKeyedCache,
+)
 from repro.utils.errors import ValidationError
+from repro.utils.validation import check_probability
+
+
+def _check_rates_finite(
+    a: np.ndarray, b: np.ndarray, f: np.ndarray, g: np.ndarray
+) -> None:
+    """Reject NaN rate updates (poisoned inputs) with one aggregate probe.
+
+    M-step ratios are finite by construction, so a NaN in any of the
+    four vectors can only come from NaN claims; summing all four and
+    testing once is an order of magnitude cheaper than per-array
+    validation on this per-iteration path.
+    """
+    if np.isnan(float(a.sum()) + float(b.sum()) + float(f.sum()) + float(g.sum())):
+        raise ValidationError(
+            "M-step produced non-finite rates; the claim matrix "
+            "likely contains NaN or infinite entries"
+        )
+
+
+def _paired_groups(
+    top: np.ndarray, bottom: np.ndarray
+) -> Tuple[Optional[ColumnGroups], np.ndarray, np.ndarray]:
+    """Column groups for a (claims, mask) pair, or pass-through.
+
+    Returns ``(groups, top_k, bottom_k)`` where ``groups`` is ``None``
+    when grouping would not reduce the column count (then the original
+    boolean matrices come back and the caller skips the scatter).
+    """
+    groups, unique_top, unique_bottom = group_paired_columns(top, bottom)
+    if not groups.collapsed:
+        return None, top, bottom
+    return groups, unique_top != 0, unique_bottom != 0
 
 
 class DenseBackend:
@@ -56,6 +124,21 @@ class DenseBackend:
         self.sc = problem.claims.values.astype(np.float64)
         self.dep = problem.dependency.values.astype(np.float64)
         self.indep = 1.0 - self.dep
+        # Masked claim products, built once instead of once per M-step.
+        self.sc_indep = self.sc * self.indep
+        self.sc_dep = self.sc * self.dep
+        self._sc_bool = self.sc != 0
+        self._dep_bool = self.dep != 0
+        self._groups, sc_cols, dep_cols = _paired_groups(
+            self._sc_bool, self._dep_bool
+        )
+        # Flat gather indices driving the take kernels, over the unique
+        # (SC, D) column pairs when the problem repeats columns.
+        self._codes = flat_claim_codes(sc_cols, dep_cols)
+        self._masked_codes = flat_claim_codes(
+            sc_cols, ~np.asarray(dep_cols, dtype=bool)
+        )
+        self._columns_cache = ParamsKeyedCache()
 
     @property
     def n_sources(self) -> int:
@@ -81,7 +164,7 @@ class DenseBackend:
 
     def support_counts(self) -> np.ndarray:
         """Per-assertion count of *independent* supporting claims."""
-        return (self.sc * self.indep).sum(axis=0)
+        return self.sc_indep.sum(axis=0)
 
     def m_step(
         self, posterior: np.ndarray, previous: SourceParameters
@@ -101,32 +184,65 @@ class DenseBackend:
         z_post = posterior  # Z_j = P(C_j = 1 | ·)
         y_post = 1.0 - posterior  # Y_j = P(C_j = 0 | ·)
 
-        def _ratio(weight, mask, fallback):
+        def _ratio(claims, weight, mask, fallback):
             return ratio_update(
-                (self.sc * mask) @ weight,
+                claims @ weight,
                 mask @ weight,
                 smoothing=self.smoothing,
                 fallback=fallback,
             )
 
-        a = _ratio(z_post, self.indep, previous.a)
-        f = _ratio(z_post, self.dep, previous.f)
-        b = _ratio(y_post, self.indep, previous.b)
-        g = _ratio(y_post, self.dep, previous.g)
-        z = float(z_post.mean()) if z_post.size else previous.z
-        return SourceParameters(a=a, b=b, f=f, g=g, z=z).clamp(self.epsilon)
+        a = _ratio(self.sc_indep, z_post, self.indep, previous.a)
+        f = _ratio(self.sc_dep, z_post, self.dep, previous.f)
+        b = _ratio(self.sc_indep, y_post, self.indep, previous.b)
+        g = _ratio(self.sc_dep, y_post, self.dep, previous.g)
+        z = (  # sum/size is np.mean's own definition, minus dispatch
+            float(z_post.sum()) / z_post.size if z_post.size else previous.z
+        )
+        # The ratios are posterior-mass fractions in [0, 1] unless the
+        # posterior itself was poisoned (NaN claims), so full per-array
+        # re-validation is replaced by one aggregate NaN probe plus the
+        # scalar z check; clamp re-clips everything anyway.
+        _check_rates_finite(a, b, f, g)
+        check_probability(z, "z")
+        return SourceParameters._trusted(a=a, b=b, f=f, g=g, z=z).clamp(self.epsilon)
+
+    def _column_log_likelihoods(
+        self, params: SourceParameters
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-column log likelihoods, table-cached and column-deduped."""
+
+        def compute():
+            tables = LogParameterTables.build(params)
+            if not tables.finite:
+                # Unclamped degenerate θ: careful legacy path.
+                return column_log_likelihoods(self.sc, self.dep, params)
+            log_true, log_false = coded_dense_column_log_likelihoods(
+                self._codes, tables
+            )
+            if self._groups is not None:
+                return self._groups.expand(log_true), self._groups.expand(log_false)
+            return log_true, log_false
+
+        return self._columns_cache.get(params, compute)
 
     def posterior(self, params: SourceParameters) -> np.ndarray:
         """Equation (9) truth posterior for every assertion."""
-        return posterior_truth(self.problem, params)
+        log_true, log_false = self._column_log_likelihoods(params)
+        return posterior_from_log_likelihoods(log_true, log_false, params.z)
 
     def e_step(
         self, params: SourceParameters
     ) -> Tuple[np.ndarray, float]:
-        """Posterior plus the observed-data log likelihood (Equation 7)."""
+        """Posterior plus the observed-data log likelihood (Equation 7).
+
+        One shared likelihood pass feeds both quantities (historically
+        this ran the full pass twice).
+        """
+        log_true, log_false = self._column_log_likelihoods(params)
         return (
-            posterior_truth(self.problem, params),
-            data_log_likelihood(self.problem, params),
+            posterior_from_log_likelihoods(log_true, log_false, params.z),
+            log_likelihood_from_log_columns(log_true, log_false, params.z),
         )
 
     def partition_counts(
@@ -139,10 +255,10 @@ class DenseBackend:
         """
         y_posterior = 1.0 - posterior
         counts = {
-            "a": ((self.sc * self.indep) @ posterior, self.indep @ posterior),
-            "f": ((self.sc * self.dep) @ posterior, self.dep @ posterior),
-            "b": ((self.sc * self.indep) @ y_posterior, self.indep @ y_posterior),
-            "g": ((self.sc * self.dep) @ y_posterior, self.dep @ y_posterior),
+            "a": (self.sc_indep @ posterior, self.indep @ posterior),
+            "f": (self.sc_dep @ posterior, self.dep @ posterior),
+            "b": (self.sc_indep @ y_posterior, self.indep @ y_posterior),
+            "g": (self.sc_dep @ y_posterior, self.dep @ y_posterior),
         }
         return counts, (float(posterior.sum()), float(posterior.size))
 
@@ -151,17 +267,27 @@ class DenseBackend:
     def masked_rate(self, weight: np.ndarray, previous: np.ndarray) -> np.ndarray:
         """One independence-model rate over independent cells only."""
         ratio = ratio_update(
-            (self.sc * self.indep) @ weight,
+            self.sc_indep @ weight,
             self.indep @ weight,
             smoothing=self.smoothing,
             fallback=previous,
         )
-        return np.clip(ratio, self.epsilon, 1.0 - self.epsilon)
+        # minimum(maximum(·)) is np.clip's own definition without the
+        # dispatch overhead — this runs twice per stage-one iteration.
+        return np.minimum(np.maximum(ratio, self.epsilon), 1.0 - self.epsilon)
 
     def masked_log_likelihoods(
         self, t_rate: np.ndarray, b_rate: np.ndarray
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Column log likelihoods of the independence model, masked to independent cells."""
+        tables = IndependenceLogTables.build(t_rate, b_rate)
+        if tables.finite:
+            log_true, log_false = coded_masked_column_log_likelihoods(
+                self._masked_codes, tables
+            )
+            if self._groups is not None:
+                return self._groups.expand(log_true), self._groups.expand(log_false)
+            return log_true, log_false
         log_true = (
             self.indep
             * (
@@ -198,7 +324,11 @@ class CSRBackend:
         a_i = \\frac{(SC \\odot (1-D))\\, Z}{(\\mathbf{1} - D)\\, Z}
             = \\frac{(SC - SC \\odot D)\\, Z}{\\sum_j Z_j - D\\, Z}
 
-    which again touch only stored entries.
+    which again touch only stored entries.  The two ``D @ weight``
+    products are computed once per M-step (they feed two ratios each),
+    log-parameter tables once per θ, and the per-column log-likelihoods
+    are cached per θ object.  Column dedup is not applied here — sparse
+    transpose products already touch only stored entries.
     """
 
     def __init__(
@@ -215,6 +345,7 @@ class CSRBackend:
         self.dep = problem.dependency
         self.sc_dep = sc.multiply(self.dep).tocsr()  # dependent claims
         self.sc_indep = (sc - self.sc_dep).tocsr()  # independent claims
+        self._columns_cache = ParamsKeyedCache()
 
     @property
     def n_sources(self) -> int:
@@ -248,14 +379,12 @@ class CSRBackend:
         y_mass = 1.0 - posterior
         z_total = float(z_mass.sum())
         y_total = float(y_mass.sum())
+        # Each D @ weight feeds two ratios; compute them once.
+        dep_z = np.asarray(self.dep @ z_mass).ravel()
+        dep_y = np.asarray(self.dep @ y_mass).ravel()
 
-        def _ratio(matrix, weight, weight_total, fallback, dependent):
+        def _ratio(matrix, weight, denominator, fallback):
             numerator = np.asarray(matrix @ weight).ravel()
-            dep_weight = np.asarray(self.dep @ weight).ravel()
-            if dependent:
-                denominator = dep_weight
-            else:
-                denominator = weight_total - dep_weight
             # The subtracted denominator can undershoot the numerator
             # by float rounding; clip_ratio keeps the update a rate.
             return ratio_update(
@@ -266,36 +395,45 @@ class CSRBackend:
                 clip_ratio=True,
             )
 
-        a = _ratio(self.sc_indep, z_mass, z_total, previous.a, False)
-        f = _ratio(self.sc_dep, z_mass, z_total, previous.f, True)
-        b = _ratio(self.sc_indep, y_mass, y_total, previous.b, False)
-        g = _ratio(self.sc_dep, y_mass, y_total, previous.g, True)
-        z = float(posterior.mean()) if posterior.size else previous.z
-        return SourceParameters(a=a, b=b, f=f, g=g, z=z).clamp(self.epsilon)
+        a = _ratio(self.sc_indep, z_mass, z_total - dep_z, previous.a)
+        f = _ratio(self.sc_dep, z_mass, dep_z, previous.f)
+        b = _ratio(self.sc_indep, y_mass, y_total - dep_y, previous.b)
+        g = _ratio(self.sc_dep, y_mass, dep_y, previous.g)
+        z = (
+            float(posterior.sum()) / posterior.size
+            if posterior.size
+            else previous.z
+        )
+        # clip_ratio above already forced the updates into [0, 1];
+        # as in the dense backend, guard against poisoned posteriors
+        # without the full per-array re-validation.
+        _check_rates_finite(a, b, f, g)
+        check_probability(z, "z")
+        return SourceParameters._trusted(a=a, b=b, f=f, g=g, z=z).clamp(self.epsilon)
 
     def _column_log_likelihoods(
         self, params: SourceParameters
     ) -> Tuple[np.ndarray, np.ndarray]:
-        log_a, log_1a = np.log(params.a), np.log1p(-params.a)
-        log_b, log_1b = np.log(params.b), np.log1p(-params.b)
-        log_f, log_1f = np.log(params.f), np.log1p(-params.f)
-        log_g, log_1g = np.log(params.g), np.log1p(-params.g)
-        dep_t = self.dep.T
-        indep_t = self.sc_indep.T
-        dep_claims_t = self.sc_dep.T
-        log_true = (
-            float(log_1a.sum())
-            + np.asarray(dep_t @ (log_1f - log_1a)).ravel()
-            + np.asarray(indep_t @ (log_a - log_1a)).ravel()
-            + np.asarray(dep_claims_t @ (log_f - log_1f)).ravel()
-        )
-        log_false = (
-            float(log_1b.sum())
-            + np.asarray(dep_t @ (log_1g - log_1b)).ravel()
-            + np.asarray(indep_t @ (log_b - log_1b)).ravel()
-            + np.asarray(dep_claims_t @ (log_g - log_1g)).ravel()
-        )
-        return log_true, log_false
+        def compute():
+            t = LogParameterTables.build(params)
+            dep_t = self.dep.T
+            indep_t = self.sc_indep.T
+            dep_claims_t = self.sc_dep.T
+            log_true = (
+                float(t.log_1a.sum())
+                + np.asarray(dep_t @ (t.log_1f - t.log_1a)).ravel()
+                + np.asarray(indep_t @ (t.log_a - t.log_1a)).ravel()
+                + np.asarray(dep_claims_t @ (t.log_f - t.log_1f)).ravel()
+            )
+            log_false = (
+                float(t.log_1b.sum())
+                + np.asarray(dep_t @ (t.log_1g - t.log_1b)).ravel()
+                + np.asarray(indep_t @ (t.log_b - t.log_1b)).ravel()
+                + np.asarray(dep_claims_t @ (t.log_g - t.log_1g)).ravel()
+            )
+            return log_true, log_false
+
+        return self._columns_cache.get(params, compute)
 
     def posterior(self, params: SourceParameters) -> np.ndarray:
         log_true, log_false = self._column_log_likelihoods(params)
@@ -321,7 +459,7 @@ class CSRBackend:
             smoothing=self.smoothing,
             fallback=previous,
         )
-        return np.clip(ratio, self.epsilon, 1.0 - self.epsilon)
+        return np.minimum(np.maximum(ratio, self.epsilon), 1.0 - self.epsilon)
 
     def masked_log_likelihoods(
         self, t_rate: np.ndarray, b_rate: np.ndarray
@@ -371,6 +509,14 @@ class MaskedDenseBackend:
         self.mask = mask
         self.smoothing = smoothing
         self.epsilon = epsilon
+        self.sc_mask = sc * mask
+        self._sc_bool = np.asarray(sc) != 0
+        self._mask_bool = np.asarray(mask) != 0
+        self._groups, sc_cols, mask_cols = _paired_groups(
+            self._sc_bool, self._mask_bool
+        )
+        self._codes = flat_claim_codes(sc_cols, mask_cols)
+        self._columns_cache = ParamsKeyedCache()
 
     @property
     def n_sources(self) -> int:
@@ -403,7 +549,7 @@ class MaskedDenseBackend:
     # -- EM steps ----------------------------------------------------------------
 
     def support_counts(self) -> np.ndarray:
-        return (self.sc * self.mask).sum(axis=0)
+        return self.sc_mask.sum(axis=0)
 
     def m_step(self, posterior: np.ndarray, previous):
         from repro.baselines.em_independent import IndependentParameters
@@ -413,7 +559,7 @@ class MaskedDenseBackend:
 
         def _ratio(weight, fallback):
             return ratio_update(
-                (self.sc * self.mask) @ weight,
+                self.sc_mask @ weight,
                 self.mask @ weight,
                 smoothing=self.smoothing,
                 fallback=fallback,
@@ -421,19 +567,32 @@ class MaskedDenseBackend:
 
         t = _ratio(z_post, previous.t)
         b = _ratio(y_post, previous.b)
-        z = float(z_post.mean()) if z_post.size else previous.z
+        z = (  # sum/size is np.mean's own definition, minus dispatch
+            float(z_post.sum()) / z_post.size if z_post.size else previous.z
+        )
         return IndependentParameters(t=t, b=b, z=z).clamp(self.epsilon)
 
     def _column_log_likelihoods(self, params) -> Tuple[np.ndarray, np.ndarray]:
-        log_t, log_1t = np.log(params.t), np.log1p(-params.t)
-        log_b, log_1b = np.log(params.b), np.log1p(-params.b)
-        log_true = self.mask * (
-            self.sc * log_t[:, None] + (1 - self.sc) * log_1t[:, None]
-        )
-        log_false = self.mask * (
-            self.sc * log_b[:, None] + (1 - self.sc) * log_1b[:, None]
-        )
-        return log_true.sum(axis=0), log_false.sum(axis=0)
+        def compute():
+            tables = IndependenceLogTables.build(params.t, params.b)
+            if not tables.finite:
+                log_t, log_1t = tables.log_t, tables.log_1t
+                log_b, log_1b = tables.log_b, tables.log_1b
+                log_true = self.mask * (
+                    self.sc * log_t[:, None] + (1 - self.sc) * log_1t[:, None]
+                )
+                log_false = self.mask * (
+                    self.sc * log_b[:, None] + (1 - self.sc) * log_1b[:, None]
+                )
+                return log_true.sum(axis=0), log_false.sum(axis=0)
+            log_true, log_false = coded_masked_column_log_likelihoods(
+                self._codes, tables
+            )
+            if self._groups is not None:
+                return self._groups.expand(log_true), self._groups.expand(log_false)
+            return log_true, log_false
+
+        return self._columns_cache.get(params, compute)
 
     def posterior(self, params) -> np.ndarray:
         log_true, log_false = self._column_log_likelihoods(params)

@@ -75,17 +75,23 @@ def staged_stage_one(
         # M-step over independent cells only.
         t_rate = backend.masked_rate(posterior, t_rate)
         b_rate = backend.masked_rate(1.0 - posterior, b_rate)
-        z = (
-            float(np.clip(posterior.mean(), eps, 1.0 - eps))
-            if posterior.size
-            else z
-        )
+        if posterior.size:
+            # sum/size is np.mean's own definition, minus dispatch; the
+            # explicit comparisons reproduce np.clip (a NaN mean fails
+            # both and propagates unchanged, exactly as np.clip does).
+            mean = float(posterior.sum()) / posterior.size
+            if mean < eps:
+                z = eps
+            elif mean > 1.0 - eps:
+                z = 1.0 - eps
+            else:
+                z = mean
         # E-step over independent cells only.
         log_true, log_false = backend.masked_log_likelihoods(t_rate, b_rate)
         new_posterior = stable_posterior(log_true, log_false, z)
         if (
             posterior.size
-            and np.max(np.abs(new_posterior - posterior)) < tolerance
+            and float(np.abs(new_posterior - posterior).max()) < tolerance
         ):
             posterior = new_posterior
             break

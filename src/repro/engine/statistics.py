@@ -60,15 +60,30 @@ def ratio_update(
         fallback.  Sparse backends need this because their subtracted
         denominators can undershoot the numerator by float rounding.
     """
-    pooled_den = float(denominator.sum())
-    pooled = float(numerator.sum()) / pooled_den if pooled_den > 0 else 0.5
-    numerator = numerator + smoothing * pooled
-    denominator = denominator + smoothing
-    with np.errstate(invalid="ignore", divide="ignore"):
-        ratio = numerator / denominator
-        if clip_ratio:
-            ratio = np.clip(ratio, 0.0, 1.0)
-    return np.where(denominator > 0, ratio, fallback)
+    if smoothing != 0.0:
+        # The pooled rate only matters when it is actually blended in;
+        # adding s=0 pseudo-counts is the identity (counts are
+        # non-negative, so +0.0 cannot flip a signed zero), and the two
+        # reductions plus two array adds are pure overhead in the
+        # common unsmoothed inner loops.
+        pooled_den = float(denominator.sum())
+        pooled = float(numerator.sum()) / pooled_den if pooled_den > 0 else 0.5
+        numerator = numerator + smoothing * pooled
+        denominator = denominator + smoothing
+    # Masked divide: fallback cells are pre-filled and never touched by
+    # the division, so empty partitions raise no warnings and need no
+    # errstate round-trip (this runs four times per M-step).
+    usable = denominator > 0
+    ratio = np.where(usable, 0.0, fallback)
+    np.divide(numerator, denominator, out=ratio, where=usable)
+    if clip_ratio:
+        # np.clip's definition without its dispatch overhead (NaN
+        # propagates through maximum/minimum identically); masked so
+        # fallback cells stay verbatim, as with the historical
+        # clip-then-select.
+        np.maximum(ratio, 0.0, out=ratio, where=usable)
+        np.minimum(ratio, 1.0, out=ratio, where=usable)
+    return ratio
 
 
 def stable_posterior(

@@ -1,0 +1,35 @@
+"""Machine metadata for benchmark reports.
+
+Every benchmark JSON the repo emits (``BENCH_parallel.json``,
+``BENCH_kernels.json``, …) embeds :func:`machine_info` so a number can
+never be read without the hardware context it was measured on — a 1×
+"speedup" on a single-core container and a 4× on an 8-core workstation
+are both honest, but only if the report says which machine produced it.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import sys
+from typing import Dict, Optional
+
+
+def machine_info() -> Dict[str, Optional[object]]:
+    """Describe the benchmarking machine for inclusion in report JSON.
+
+    Returns plain JSON-compatible types only.  ``cpu_count`` is
+    ``os.cpu_count()`` (may be ``None`` on exotic platforms, which JSON
+    renders as ``null``).
+    """
+    return {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "processor": platform.processor(),
+        "python_version": sys.version.split()[0],
+        "python_implementation": platform.python_implementation(),
+    }
+
+
+__all__ = ["machine_info"]

@@ -1,0 +1,54 @@
+"""Optimised single-core compute kernels (the hot inner loops).
+
+``repro.kernels`` is the library's compute layer: the bounds, the
+engine backends and :mod:`repro.core.likelihood` all route their inner
+loops through it.  The modules are deliberately small and orthogonal:
+
+=====================  ======================================================
+:mod:`~repro.kernels.tables`       log-parameter tables, built once per θ and
+                                   cached by parameter-object identity
+:mod:`~repro.kernels.dedup`        unique-column grouping shared by the exact
+                                   bound, the Gibbs bound and the E-step
+:mod:`~repro.kernels.likelihood`   vectorised select-based column
+                                   log-likelihoods for binary matrices
+:mod:`~repro.kernels.enumeration`  Gray-code split-table enumeration of the
+                                   ``2^n`` claim patterns (exact bound)
+:mod:`~repro.kernels.gibbs`        blocked, fully vectorised Gibbs sweeps
+:mod:`~repro.kernels.reference`    frozen pre-optimisation implementations,
+                                   kept for the benchmark-regression harness
+=====================  ======================================================
+
+Every kernel either reproduces the historical output bit-for-bit (the
+deterministic E/M-step paths) or within a documented tolerance (the
+reordered exact enumeration, the resampled Gibbs chain); the contract
+is pinned by ``tests/kernels`` against ``tests/data/kernel_reference.npz``
+and timed by ``benchmarks/test_kernel_micro.py``.
+"""
+
+from repro.kernels.dedup import ColumnGroups, group_columns, group_paired_columns
+from repro.kernels.enumeration import gray_pattern_masses, pattern_block
+from repro.kernels.gibbs import BlockedGibbsChains, GibbsTables
+from repro.kernels.likelihood import (
+    dense_column_log_likelihoods,
+    masked_column_log_likelihoods,
+)
+from repro.kernels.tables import (
+    IndependenceLogTables,
+    LogParameterTables,
+    ParamsKeyedCache,
+)
+
+__all__ = [
+    "BlockedGibbsChains",
+    "ColumnGroups",
+    "GibbsTables",
+    "IndependenceLogTables",
+    "LogParameterTables",
+    "ParamsKeyedCache",
+    "dense_column_log_likelihoods",
+    "gray_pattern_masses",
+    "group_columns",
+    "group_paired_columns",
+    "masked_column_log_likelihoods",
+    "pattern_block",
+]

@@ -1,0 +1,115 @@
+"""Gray-code split-table enumeration of the exact bound's pattern sweep.
+
+The exact bound (Equation 3) sums ``min`` of the two joints over all
+``2^n`` claim patterns.  The historical kernel materialised every
+pattern and took two ``(chunk, n) @ (n, K)`` matrix products per chunk
+— ``O(2^n · n · K)`` flops dominated by pattern construction for small
+``K``.  This kernel removes the factor ``n``:
+
+* the **low** ``n_lo`` sources are tabulated once: a ``(2^{n_lo}, K)``
+  table of exponentiated partial joints;
+* the **high** ``n_hi = n - n_lo`` sources are walked in Gray-code
+  order, so consecutive steps differ in a single source whose log-rate
+  delta updates a ``(K,)`` running contribution in ``O(K)``;
+* each step combines the two multiplicatively —
+  ``exp(low + high) = exp(low) · exp(high)`` — so the full sweep is
+  ``O(2^n · K)`` elementwise work with no transcendentals on the big
+  axis.
+
+The running high-bit sums are refreshed from scratch periodically to
+keep cumulative float drift below the documented ``1e-9`` relative
+agreement with the historical enumeration (the pattern *set* is
+identical; only the summation order differs).
+
+All log inputs must be finite — callers route degenerate rates (exact
+0/1) through the careful legacy path that reasons about impossible
+patterns explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+#: Default number of tabulated low sources (64k-row tables, matching
+#: the historical chunk size).
+_LO_BITS = 16
+
+#: Element budget for the low table — shrinks ``n_lo`` when many
+#: distinct columns are in flight so the working set stays in cache.
+_MAX_TABLE_ELEMENTS = 1 << 22
+
+#: Refresh the incremental high-bit sums every this many Gray steps.
+_REFRESH_INTERVAL = 128
+
+
+def pattern_block(start: int, stop: int, n: int) -> np.ndarray:
+    """0/1 matrix of the binary expansions of ``start..stop-1`` (LSB = source 0)."""
+    codes = np.arange(start, stop, dtype=np.int64)[:, None]
+    return ((codes >> np.arange(n, dtype=np.int64)) & 1).astype(np.float64)
+
+
+def _low_bits(n: int, k: int) -> int:
+    n_lo = min(n, _LO_BITS)
+    while n_lo > 8 and (1 << n_lo) * max(k, 1) > _MAX_TABLE_ELEMENTS:
+        n_lo -= 1
+    return n_lo
+
+
+def gray_pattern_masses(
+    log_r1: np.ndarray,
+    log_1r1: np.ndarray,
+    log_r0: np.ndarray,
+    log_1r0: np.ndarray,
+    log_z: float,
+    log_1z: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-column (false-positive, false-negative) mass of Equation (3).
+
+    Inputs are ``(n, K)`` finite log-rate tables (``r1``/``r0`` are the
+    emission rates given a true/false assertion).  For every one of the
+    ``2^n`` claim patterns the optimal estimator decides by the larger
+    joint (ties decide "false", matching Algorithm 1's strict ``>``);
+    the smaller joint's mass accumulates into the corresponding error
+    side.  Returns two ``(K,)`` arrays.
+    """
+    n, k = log_r1.shape
+    n_lo = _low_bits(n, k)
+    n_hi = n - n_lo
+
+    patterns = pattern_block(0, 1 << n_lo, n_lo)
+    complement = 1.0 - patterns
+    exp_low_true = np.exp(patterns @ log_r1[:n_lo] + complement @ log_1r1[:n_lo])
+    exp_low_false = np.exp(patterns @ log_r0[:n_lo] + complement @ log_1r0[:n_lo])
+
+    delta_true = log_r1[n_lo:] - log_1r1[n_lo:]
+    delta_false = log_r0[n_lo:] - log_1r0[n_lo:]
+    base_true = log_1r1[n_lo:].sum(axis=0) + log_z
+    base_false = log_1r0[n_lo:].sum(axis=0) + log_1z
+    hi_true = base_true.copy()
+    hi_false = base_false.copy()
+
+    fp_mass = np.zeros(k)
+    fn_mass = np.zeros(k)
+    state = np.zeros(n_hi, dtype=bool)
+    for step in range(1 << n_hi):
+        if step:
+            bit = (step & -step).bit_length() - 1
+            flip = -1.0 if state[bit] else 1.0
+            state[bit] = not state[bit]
+            if step % _REFRESH_INTERVAL:
+                hi_true += flip * delta_true[bit]
+                hi_false += flip * delta_false[bit]
+            else:
+                hi_true = base_true + delta_true[state].sum(axis=0)
+                hi_false = base_false + delta_false[state].sum(axis=0)
+        joint_true = exp_low_true * np.exp(hi_true)
+        joint_false = exp_low_false * np.exp(hi_false)
+        decide_true = joint_true > joint_false
+        fp_mass += np.where(decide_true, joint_false, 0.0).sum(axis=0)
+        fn_mass += np.where(decide_true, 0.0, joint_true).sum(axis=0)
+    return fp_mass, fn_mass
+
+
+__all__ = ["gray_pattern_masses", "pattern_block"]

@@ -1,0 +1,113 @@
+"""Table-gather column log-likelihood kernels for binary matrices.
+
+Because ``SC`` and ``D`` are 0/1, every product in the textbook form
+
+.. math::
+    \\log P(SC_j|C_j) = \\sum_i SC_{ij}\\,\\log r_i + (1-SC_{ij})\\,\\log(1-r_i)
+
+is an exact *selection*: one of the two addends is exactly zero.  Each
+cell therefore picks one of four per-source log rates, indexed by the
+2-bit code ``2·D + SC`` — so the whole likelihood pass collapses to a
+single flat ``take`` from the row-major ``(n, 4)`` table followed by
+the axis-0 sum.  The flat gather indices (``4·row + code``) depend only
+on the (fixed) data matrices and are precomputed once per backend; the
+tables are rebuilt per θ (see :mod:`repro.kernels.tables`).
+
+The gathered cells carry bit-for-bit the values of the historical
+multiply-add chains as long as every log is finite (the tables'
+``finite`` flag; EM-clamped parameters always qualify), and the
+summation keeps the same axis order — so the per-column totals are
+bitwise identical to the legacy path while costing two array passes
+instead of roughly ten.  ``take`` with precomputed flat indices beats
+``table[rows, codes]`` fancy indexing by 2–4× at every problem size
+(advanced indexing pays a fixed multi-microsecond setup per call).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.kernels.tables import IndependenceLogTables, LogParameterTables
+
+
+def claim_codes(first: np.ndarray, second: np.ndarray) -> np.ndarray:
+    """Per-cell 2-bit codes ``2·second + first`` for the gather kernels.
+
+    ``first`` is the claim matrix ``SC``; ``second`` is the dependency
+    matrix ``D`` (dense model) or the cell mask (masked model).  Any
+    0/1-valued dtype is accepted.  The result is an ``(n, m)`` ``intp``
+    array, the native indexing dtype.
+    """
+    first = np.asarray(first)
+    second = np.asarray(second)
+    codes = (second != 0).astype(np.intp)
+    codes <<= 1
+    codes |= first != 0
+    return codes
+
+
+def flat_claim_codes(first: np.ndarray, second: np.ndarray) -> np.ndarray:
+    """Flat gather indices ``4·row + code`` into a row-major ``(n, 4)`` table.
+
+    Precompute these once per fixed ``(SC, D)`` (or ``(SC, mask)``)
+    pair; the ``coded_*`` kernels then reduce to two ``take`` + ``sum``
+    pairs per θ.
+    """
+    codes = claim_codes(first, second)
+    codes += np.arange(codes.shape[0], dtype=np.intp)[:, None] * 4
+    return codes
+
+
+def coded_dense_column_log_likelihoods(
+    flat_codes: np.ndarray, tables: LogParameterTables
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Equations (4)/(5) log-likelihoods per column from flat cell codes.
+
+    ``flat_codes`` comes from :func:`flat_claim_codes` over ``(SC, D)``.
+    Returns ``(log_true, log_false)``, each ``(m,)``.
+    """
+    return (
+        tables.table_true.take(flat_codes).sum(axis=0),
+        tables.table_false.take(flat_codes).sum(axis=0),
+    )
+
+
+def dense_column_log_likelihoods(
+    sc: np.ndarray, dep: np.ndarray, tables: LogParameterTables
+) -> Tuple[np.ndarray, np.ndarray]:
+    """As :func:`coded_dense_column_log_likelihoods`, coding on the fly."""
+    return coded_dense_column_log_likelihoods(flat_claim_codes(sc, dep), tables)
+
+
+def coded_masked_column_log_likelihoods(
+    flat_codes: np.ndarray, tables: IndependenceLogTables
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Independence-model log-likelihoods over unmasked cells only.
+
+    ``flat_codes`` comes from :func:`flat_claim_codes` over
+    ``(SC, mask)``; masked-out cells (codes 0/1) gather an exact
+    ``0.0`` — they are *missing*, not non-claims.
+    """
+    return (
+        tables.table_true.take(flat_codes).sum(axis=0),
+        tables.table_false.take(flat_codes).sum(axis=0),
+    )
+
+
+def masked_column_log_likelihoods(
+    sc: np.ndarray, mask: np.ndarray, tables: IndependenceLogTables
+) -> Tuple[np.ndarray, np.ndarray]:
+    """As :func:`coded_masked_column_log_likelihoods`, coding on the fly."""
+    return coded_masked_column_log_likelihoods(flat_claim_codes(sc, mask), tables)
+
+
+__all__ = [
+    "claim_codes",
+    "coded_dense_column_log_likelihoods",
+    "coded_masked_column_log_likelihoods",
+    "dense_column_log_likelihoods",
+    "flat_claim_codes",
+    "masked_column_log_likelihoods",
+]

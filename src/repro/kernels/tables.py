@@ -1,0 +1,161 @@
+"""Log-parameter tables, built once per θ and cached by identity.
+
+θ changes exactly once per EM iteration (at the M-step) while the
+E-step, the posterior and the log-likelihood all consume ``log θ``
+terms.  Historically each of those calls re-took eight logs; the tables
+here are built once per parameter *object* and reused for every
+downstream call that sees the same object.
+
+Invalidation
+------------
+There is none, by construction: :class:`~repro.core.model.SourceParameters`
+(and the baselines' ``IndependentParameters``) are immutable and every
+M-step returns a fresh instance, so identity (``is``) is a sound cache
+key — a table can never go stale because the parameters it was built
+from can never change.  :class:`ParamsKeyedCache` is the single-slot
+identity cache the backends use; one slot suffices because the EM loop
+only ever works with the current iteration's θ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, TypeVar
+
+import numpy as np
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class LogParameterTables:
+    """Per-source log-rate vectors of the dependency-aware model.
+
+    ``finite`` records whether every rate log is finite, i.e. the
+    parameters sit strictly inside ``(0, 1)``; the select-based fast
+    kernels require that (EM-clamped parameters always satisfy it) and
+    callers fall back to the careful legacy path otherwise.
+    """
+
+    log_a: np.ndarray
+    log_1a: np.ndarray
+    log_b: np.ndarray
+    log_1b: np.ndarray
+    log_f: np.ndarray
+    log_1f: np.ndarray
+    log_g: np.ndarray
+    log_1g: np.ndarray
+    log_z: float
+    log_1z: float
+    #: ``(n, 4)`` gather tables indexed by the cell code ``2·D + SC``
+    #: (see :func:`repro.kernels.likelihood.claim_codes`).
+    table_true: np.ndarray
+    table_false: np.ndarray
+    finite: bool
+
+    @classmethod
+    def build(cls, params) -> "LogParameterTables":
+        """Take all logs of a :class:`~repro.core.model.SourceParameters`.
+
+        The logs are written straight into the ``(n, 4)`` gather tables
+        (the per-rate vectors are column views of them) — this build
+        runs once per θ but θ changes every EM iteration, so its fixed
+        cost is visible on small problems.
+        """
+        n = params.a.shape[0]
+        table_true = np.empty((n, 4))
+        table_false = np.empty((n, 4))
+        with np.errstate(divide="ignore"):
+            np.log1p(np.negative(params.a), out=table_true[:, 0])
+            np.log(params.a, out=table_true[:, 1])
+            np.log1p(np.negative(params.f), out=table_true[:, 2])
+            np.log(params.f, out=table_true[:, 3])
+            np.log1p(np.negative(params.b), out=table_false[:, 0])
+            np.log(params.b, out=table_false[:, 1])
+            np.log1p(np.negative(params.g), out=table_false[:, 2])
+            np.log(params.g, out=table_false[:, 3])
+            log_z, log_1z = float(np.log(params.z)), float(np.log1p(-params.z))
+        # Every entry is the log of a probability, hence in [-inf, 0]:
+        # the sums cannot overflow or cancel, so a single non-finite
+        # entry (or a NaN) makes the combined sum non-finite.
+        finite = bool(np.isfinite(table_true.sum() + table_false.sum()))
+        return cls(
+            log_a=table_true[:, 1],
+            log_1a=table_true[:, 0],
+            log_b=table_false[:, 1],
+            log_1b=table_false[:, 0],
+            log_f=table_true[:, 3],
+            log_1f=table_true[:, 2],
+            log_g=table_false[:, 3],
+            log_1g=table_false[:, 2],
+            log_z=log_z,
+            log_1z=log_1z,
+            table_true=table_true,
+            table_false=table_false,
+            finite=finite,
+        )
+
+
+@dataclass(frozen=True)
+class IndependenceLogTables:
+    """Log-rate vectors of the two-parameter independence model."""
+
+    log_t: np.ndarray
+    log_1t: np.ndarray
+    log_b: np.ndarray
+    log_1b: np.ndarray
+    #: ``(n, 4)`` gather tables indexed by the cell code ``2·mask + SC``;
+    #: masked-out cells (codes 0/1) gather an exact ``0.0``.
+    table_true: np.ndarray
+    table_false: np.ndarray
+    finite: bool
+
+    @classmethod
+    def build(cls, t_rate: np.ndarray, b_rate: np.ndarray) -> "IndependenceLogTables":
+        n = np.asarray(t_rate).shape[0]
+        table_true = np.zeros((n, 4))
+        table_false = np.zeros((n, 4))
+        with np.errstate(divide="ignore"):
+            np.log1p(np.negative(t_rate), out=table_true[:, 2])
+            np.log(t_rate, out=table_true[:, 3])
+            np.log1p(np.negative(b_rate), out=table_false[:, 2])
+            np.log(b_rate, out=table_false[:, 3])
+        # Same [-inf, 0] sum probe as LogParameterTables.build.
+        finite = bool(np.isfinite(table_true.sum() + table_false.sum()))
+        return cls(
+            log_t=table_true[:, 3],
+            log_1t=table_true[:, 2],
+            log_b=table_false[:, 3],
+            log_1b=table_false[:, 2],
+            table_true=table_true,
+            table_false=table_false,
+            finite=finite,
+        )
+
+
+class ParamsKeyedCache:
+    """Single-slot cache keyed by parameter-object *identity*.
+
+    One slot is enough for the EM loop (there is only ever one current
+    θ); identity keying sidesteps both hashing (numpy arrays are
+    unhashable) and staleness (immutable parameters cannot change under
+    the cache).
+    """
+
+    def __init__(self) -> None:
+        self._key: Optional[object] = None
+        self._value: Optional[object] = None
+
+    def get(self, params, compute: Callable[[], T]) -> T:
+        """Return the cached value for ``params``, computing on miss."""
+        if params is not self._key:
+            self._value = compute()
+            self._key = params
+        return self._value
+
+    def clear(self) -> None:
+        self._key = None
+        self._value = None
+
+
+__all__ = ["IndependenceLogTables", "LogParameterTables", "ParamsKeyedCache"]

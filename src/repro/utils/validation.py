@@ -61,15 +61,19 @@ def check_same_shape(a: np.ndarray, b: np.ndarray, names: Tuple[str, str]) -> No
 
 
 def check_positive_int(value: int, name: str) -> int:
-    """Validate a strictly positive integer."""
-    if int(value) != value or value <= 0:
+    """Validate a strictly positive integer.
+
+    Booleans are rejected even though ``bool`` is an ``int`` subtype —
+    ``n_iterations=True`` is always a caller bug, not a count of 1.
+    """
+    if isinstance(value, bool) or int(value) != value or value <= 0:
         raise ValidationError(f"{name} must be a positive integer, got {value!r}")
     return int(value)
 
 
 def check_nonnegative_int(value: int, name: str) -> int:
-    """Validate a non-negative integer."""
-    if int(value) != value or value < 0:
+    """Validate a non-negative integer (booleans rejected, as above)."""
+    if isinstance(value, bool) or int(value) != value or value < 0:
         raise ValidationError(f"{name} must be a non-negative integer, got {value!r}")
     return int(value)
 

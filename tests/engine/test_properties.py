@@ -26,6 +26,7 @@ from repro.engine import (
     ratio_update,
     stable_posterior,
 )
+from repro.kernels.tables import IndependenceLogTables, LogParameterTables
 from repro.parallel import ParallelConfig
 
 SETTINGS = settings(max_examples=25, deadline=None)
@@ -178,6 +179,69 @@ class TestStablePosterior:
         posterior = stable_posterior(log_true, log_false, z)
         assert np.isfinite(posterior).all()
         assert (posterior >= 0.0).all() and (posterior <= 1.0).all()
+
+
+class TestLogTableProperties:
+    """The cached log tables are *exactly* the direct log computation.
+
+    The whole kernel layer rests on this: a gather from the tables must
+    select the very float ``np.log`` / ``np.log1p`` would have produced,
+    or the bit-for-bit engine parity guarantee collapses.
+    """
+
+    @SETTINGS
+    @given(seed=seeds, n=st.integers(1, 12))
+    def test_parameter_tables_match_direct_logs(self, seed, n):
+        params = SourceParameters.random(n, seed)
+        tables = LogParameterTables.build(params)
+        for view, direct in (
+            (tables.log_a, np.log(params.a)),
+            (tables.log_1a, np.log1p(-params.a)),
+            (tables.log_b, np.log(params.b)),
+            (tables.log_1b, np.log1p(-params.b)),
+            (tables.log_f, np.log(params.f)),
+            (tables.log_1f, np.log1p(-params.f)),
+            (tables.log_g, np.log(params.g)),
+            (tables.log_1g, np.log1p(-params.g)),
+        ):
+            assert np.array_equal(view, direct, equal_nan=True)
+        assert tables.log_z == float(np.log(params.z))
+        assert tables.log_1z == float(np.log1p(-params.z))
+        expected_finite = bool(
+            np.isfinite(tables.table_true).all()
+            and np.isfinite(tables.table_false).all()
+        )
+        assert tables.finite == expected_finite
+
+    @SETTINGS
+    @given(
+        seed=seeds,
+        n=st.integers(1, 12),
+        degenerate=st.booleans(),
+    )
+    def test_independence_tables_match_direct_logs(self, seed, n, degenerate):
+        rng = np.random.default_rng(seed)
+        t_rate = rng.random(n)
+        b_rate = rng.random(n)
+        if degenerate:
+            t_rate[rng.integers(n)] = float(rng.integers(2))
+        tables = IndependenceLogTables.build(t_rate, b_rate)
+        with np.errstate(divide="ignore"):
+            for view, direct in (
+                (tables.log_t, np.log(t_rate)),
+                (tables.log_1t, np.log1p(-t_rate)),
+                (tables.log_b, np.log(b_rate)),
+                (tables.log_1b, np.log1p(-b_rate)),
+            ):
+                assert np.array_equal(view, direct, equal_nan=True)
+        # Masked cells (codes 0 and 1) gather an exact additive zero.
+        assert np.array_equal(tables.table_true[:, :2], np.zeros((n, 2)))
+        assert np.array_equal(tables.table_false[:, :2], np.zeros((n, 2)))
+        expected_finite = bool(
+            np.isfinite(tables.table_true).all()
+            and np.isfinite(tables.table_false).all()
+        )
+        assert tables.finite == expected_finite
 
 
 class TestBoundProperties:
