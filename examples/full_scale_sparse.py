@@ -1,11 +1,13 @@
-"""Fact-finding at crawl scale with the sparse substrate.
+"""Fact-finding at crawl scale with the format-polymorphic data layer.
 
 The dense matrices of a Table III-size crawl do not fit in memory
-(Paris Attack: 38 844 × 23 513 cells ≈ 7 GB as float64); the sparse
-substrate stores only claims and dependent cells and runs the same
-dependency-aware EM.  This example simulates a half-scale Ukraine crawl
-(~1 850 assertions over 40 days), extracts sparse matrices straight
-from the event stream, and fact-finds the evaluation day.
+(Paris Attack: 38 844 × 23 513 cells ≈ 7 GB as float64); a
+``repro.data.CsrProblem`` stores only claims and dependent cells (int8
+data arrays) and runs the same dependency-aware EM.  This example
+simulates a half-scale Ukraine crawl (~1 850 assertions over 40 days),
+asks the dataset for its evaluation day directly in CSR format, and
+fact-finds it — no dense matrices are ever materialised (an accidental
+densification over the budget would raise ``MemoryBudgetError``).
 
 Requires scipy (``pip install -e '.[sparse]'``).
 
@@ -15,10 +17,9 @@ Run:
 
 import time
 
-
 from repro.core import EMConfig
 from repro.datasets import AssertionLabel, simulate_dataset, summarize_cascades
-from repro.sparse import SparseEMExt, SparseSensingProblem
+from repro.sparse import SparseEMExt
 
 
 def main() -> None:
@@ -37,28 +38,26 @@ def main() -> None:
         f"{cascades.retweet_fraction:.0%}"
     )
 
-    evaluation = dataset.evaluation_slice()
-    sparse_problem = SparseSensingProblem.from_dense(evaluation.problem)
-    density = sparse_problem.n_claims / (
-        sparse_problem.n_sources * sparse_problem.n_assertions
-    )
+    # The dataset hands back a CsrProblem directly; every estimator and
+    # bound accepts it through the shared Problem protocol.
+    evaluation = dataset.evaluation_slice(output_format="csr")
+    problem = evaluation.problem
+    density = problem.n_claims / (problem.n_sources * problem.n_assertions)
     print(
-        f"\nevaluation day: {sparse_problem.n_sources} x "
-        f"{sparse_problem.n_assertions} cells at {density:.2%} density, "
-        f"{sparse_problem.dependent_claim_fraction():.0%} of claims dependent"
+        f"\nevaluation day: {problem.n_sources} x "
+        f"{problem.n_assertions} cells at {density:.2%} density, "
+        f"{problem.dependent_claim_fraction():.0%} of claims dependent"
     )
 
     start = time.perf_counter()
-    result = SparseEMExt(EMConfig(smoothing=1.0)).fit(
-        sparse_problem.without_truth()
-    )
+    result = SparseEMExt(EMConfig(smoothing=1.0)).fit(problem.without_truth())
     elapsed = time.perf_counter() - start
     print(
         f"sparse EM-Ext: {result.n_iterations} iterations in {elapsed:.1f}s "
         f"(converged={result.converged})"
     )
 
-    truth = evaluation.problem.truth
+    truth = problem.truth
     top = result.top_k(100)
     labels = [evaluation.labels[j] for j in top]
     n_true = sum(1 for label in labels if label is AssertionLabel.TRUE)

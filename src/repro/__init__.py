@@ -51,6 +51,17 @@ from repro.core import (
     posterior_truth,
     run_em_ext,
 )
+from repro.data import (
+    CsrProblem,
+    DenseProblem,
+    MemoryBudgetError,
+    Problem,
+    as_dependency_array,
+    coerce_problem,
+    dense_budget,
+    get_dense_budget,
+    set_dense_budget,
+)
 from repro.network import (
     EventLog,
     FollowGraph,
@@ -97,7 +108,9 @@ __all__ = [
     "AssertionLabel",
     "AverageLog",
     "BoundResult",
+    "CsrProblem",
     "DATASET_ORDER",
+    "DenseProblem",
     "DependencyMatrix",
     "EMConfig",
     "EMExtEstimator",
@@ -114,7 +127,9 @@ __all__ = [
     "GeneratorConfig",
     "GibbsConfig",
     "InjectedFault",
+    "MemoryBudgetError",
     "Post",
+    "Problem",
     "RunHealth",
     "SIMULATION_ALGORITHMS",
     "SensingProblem",
@@ -130,13 +145,17 @@ __all__ = [
     "TwitterSimulator",
     "Voting",
     "__version__",
+    "as_dependency_array",
     "build_problem",
     "classification_metrics",
+    "coerce_problem",
+    "dense_budget",
     "empirical_parameters",
     "exact_bound",
     "exact_column_bound",
     "extract_dependency",
     "generate_dataset",
+    "get_dense_budget",
     "gibbs_bound",
     "gibbs_column_bound",
     "grade_top_k",
@@ -149,5 +168,6 @@ __all__ = [
     "run_simulation",
     "run_sweep",
     "score_result",
+    "set_dense_budget",
     "simulate_dataset",
 ]

@@ -17,21 +17,39 @@ every algorithm.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Tuple
 
 import numpy as np
 
-from repro.core.matrix import SensingProblem
 from repro.core.result import FactFindingResult
+from repro.data.coerce import coerce_problem
+from repro.data.protocol import FORMAT_DENSE, Problem
 
 
 class FactFinder(ABC):
-    """Abstract base class for all fact-finding algorithms."""
+    """Abstract base class for all fact-finding algorithms.
+
+    Every fact finder accepts any :class:`~repro.data.protocol.Problem`
+    — the :attr:`accepts` declaration names the storage formats its
+    numerics run on, and :meth:`coerce` (called at the top of each
+    ``fit``) converts the input through the data layer, densifying
+    under the memory budget where needed.
+    """
 
     #: Short machine-readable identifier (also the registry key).
     algorithm_name: str = "abstract"
 
+    #: Storage formats this algorithm's numerics accept, in preference
+    #: order.  The default — dense only — matches the heuristic rankers
+    #: and masked-EM baselines, which index raw ndarrays.
+    accepts: Tuple[str, ...] = (FORMAT_DENSE,)
+
+    def coerce(self, problem: Problem) -> Problem:
+        """``problem`` in a format this algorithm accepts (or raise)."""
+        return coerce_problem(problem, needs=self.accepts)
+
     @abstractmethod
-    def fit(self, problem: SensingProblem) -> FactFindingResult:
+    def fit(self, problem: Problem) -> FactFindingResult:
         """Estimate assertion credibility from claims (and dependencies)."""
 
     def __repr__(self) -> str:

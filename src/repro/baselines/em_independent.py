@@ -29,9 +29,10 @@ from typing import Sequence
 import numpy as np
 
 from repro.baselines.base import FactFinder
-from repro.core.matrix import SensingProblem
 from repro.core.model import DEFAULT_EPSILON
 from repro.core.result import EstimationResult
+from repro.data.dense import DenseProblem
+from repro.data.protocol import Problem
 from repro.engine.backends import MaskedDenseBackend
 from repro.engine.driver import EMDriver, IterationCallback
 from repro.engine.initialisation import support_initialisation
@@ -105,11 +106,12 @@ class _MaskedIndependentEM(FactFinder):
         self.callbacks = tuple(callbacks)
 
     # Subclasses define which cells participate.
-    def _mask(self, problem: SensingProblem) -> np.ndarray:
+    def _mask(self, problem: DenseProblem) -> np.ndarray:
         raise NotImplementedError
 
-    def fit(self, problem: SensingProblem) -> EstimationResult:
+    def fit(self, problem: Problem) -> EstimationResult:
         """Run (multi-restart) masked EM and return the best fixed point."""
+        problem = self.coerce(problem)
         sc = problem.claims.values.astype(np.float64)
         mask = self._mask(problem).astype(np.float64)
         backend = MaskedDenseBackend(
@@ -152,7 +154,7 @@ class EMIndependent(_MaskedIndependentEM):
 
     algorithm_name = "em"
 
-    def _mask(self, problem: SensingProblem) -> np.ndarray:
+    def _mask(self, problem: DenseProblem) -> np.ndarray:
         return np.ones(problem.claims.shape)
 
 
@@ -170,7 +172,7 @@ class EMSocial(_MaskedIndependentEM):
 
     algorithm_name = "em-social"
 
-    def _mask(self, problem: SensingProblem) -> np.ndarray:
+    def _mask(self, problem: DenseProblem) -> np.ndarray:
         return 1.0 - problem.dependency.values.astype(np.float64)
 
 

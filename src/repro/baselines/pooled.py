@@ -23,9 +23,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.baselines.base import FactFinder
-from repro.core.matrix import SensingProblem
 from repro.core.model import DEFAULT_EPSILON, SourceParameters
 from repro.core.result import EstimationResult
+from repro.data.protocol import Problem
 from repro.engine.backends import DenseBackend
 from repro.engine.driver import EMDriver
 from repro.engine.initialisation import support_initialisation
@@ -82,8 +82,9 @@ class PooledEMExt(FactFinder):
         # Deterministic algorithm; `seed` accepted for registry symmetry.
         self._seed = seed
 
-    def fit(self, problem: SensingProblem) -> EstimationResult:
+    def fit(self, problem: Problem) -> EstimationResult:
         """Run pooled EM from a dependency-discounted support start."""
+        problem = self.coerce(problem)
         backend = _PooledDenseBackend(problem, epsilon=self.epsilon)
         params = support_initialisation(backend)
         driver = EMDriver(

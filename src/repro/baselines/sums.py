@@ -19,8 +19,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.baselines.base import FactFinder, threshold_decisions
-from repro.core.matrix import SensingProblem
 from repro.core.result import FactFindingResult
+from repro.data.protocol import Problem
 from repro.utils.errors import ValidationError
 from repro.utils.validation import check_positive_int
 
@@ -38,8 +38,9 @@ class _IterativeBipartite(FactFinder):
     def _trust_update(self, sc: np.ndarray, belief: np.ndarray) -> np.ndarray:
         raise NotImplementedError
 
-    def fit(self, problem: SensingProblem) -> FactFindingResult:
+    def fit(self, problem: Problem) -> FactFindingResult:
         """Iterate belief/trust to a fixed point and score assertions."""
+        problem = self.coerce(problem)
         sc = problem.claims.values.astype(np.float64)
         n, m = sc.shape
         belief = np.ones(m)

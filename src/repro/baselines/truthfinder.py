@@ -21,8 +21,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.baselines.base import FactFinder, threshold_decisions
-from repro.core.matrix import SensingProblem
 from repro.core.result import FactFindingResult
+from repro.data.protocol import Problem
 from repro.utils.errors import ValidationError
 from repro.utils.validation import check_positive_int, check_probability
 
@@ -52,8 +52,9 @@ class TruthFinder(FactFinder):
             raise ValidationError(f"tolerance must be positive, got {tolerance}")
         self.tolerance = tolerance
 
-    def fit(self, problem: SensingProblem) -> FactFindingResult:
+    def fit(self, problem: Problem) -> FactFindingResult:
         """Iterate trust/confidence until the trust vector stabilises."""
+        problem = self.coerce(problem)
         sc = problem.claims.values.astype(np.float64)
         n, m = sc.shape
         trust = np.full(n, self.initial_trust)

@@ -9,8 +9,8 @@ unverified retweets looks identical to broad independent corroboration.
 from __future__ import annotations
 
 from repro.baselines.base import FactFinder, threshold_decisions
-from repro.core.matrix import SensingProblem
 from repro.core.result import FactFindingResult
+from repro.data.protocol import Problem
 
 
 class Voting(FactFinder):
@@ -18,8 +18,9 @@ class Voting(FactFinder):
 
     algorithm_name = "voting"
 
-    def fit(self, problem: SensingProblem) -> FactFindingResult:
+    def fit(self, problem: Problem) -> FactFindingResult:
         """Count supporters per assertion."""
+        problem = self.coerce(problem)
         scores = problem.claims.claims_per_assertion().astype(float)
         return FactFindingResult(
             algorithm=self.algorithm_name,

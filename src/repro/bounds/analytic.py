@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.bounds.exact import _emission_rates, _unique_columns
 from repro.core.model import SourceParameters
+from repro.data.coerce import as_dependency_array
 from repro.utils.errors import ValidationError
 
 
@@ -60,9 +61,11 @@ def bhattacharyya_bounds(
     """Closed-form ``(lower, upper)`` bracket of the exact Bayes risk.
 
     Accepts one column or a full D matrix (averaged over columns, as
-    :func:`repro.bounds.exact.exact_bound` does).
+    :func:`repro.bounds.exact.exact_bound` does), in any spelling
+    :func:`repro.data.as_dependency_array` understands — including a
+    whole sensing problem in either storage format.
     """
-    dep = np.asarray(dependency)
+    dep = as_dependency_array(dependency)
     if dep.ndim == 1:
         columns = dep[None, :]
         weights = np.ones(1)

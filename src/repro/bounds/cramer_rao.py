@@ -22,8 +22,9 @@ from typing import Dict
 
 import numpy as np
 
-from repro.core.matrix import SensingProblem
 from repro.core.model import SourceParameters
+from repro.data.coerce import coerce_problem
+from repro.data.protocol import FORMAT_DENSE, Problem
 from repro.utils.errors import ValidationError
 
 #: Two-sided normal quantiles for common confidence levels.
@@ -53,7 +54,7 @@ class ParameterConfidence:
 
 
 def fisher_information(
-    problem: SensingProblem,
+    problem: Problem,
     params: SourceParameters,
     posterior: np.ndarray,
 ) -> Dict[str, np.ndarray]:
@@ -61,8 +62,10 @@ def fisher_information(
 
     The effective trial mass of each parameter is the posterior-weighted
     number of cells in its partition, e.g. for ``a_i`` the mass is
-    :math:`\\sum_{j: D_{ij}=0} Z_j`.
+    :math:`\\sum_{j: D_{ij}=0} Z_j`.  Accepts a problem in either
+    storage format (CSR input is densified under the memory budget).
     """
+    problem = coerce_problem(problem, needs=FORMAT_DENSE)
     posterior = np.asarray(posterior, dtype=np.float64)
     if posterior.shape != (problem.n_assertions,):
         raise ValidationError(
@@ -88,7 +91,7 @@ def fisher_information(
 
 
 def parameter_confidence(
-    problem: SensingProblem,
+    problem: Problem,
     params: SourceParameters,
     posterior: np.ndarray,
     *,

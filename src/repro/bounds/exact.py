@@ -30,6 +30,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.core.model import SourceParameters
+from repro.data.coerce import as_dependency_array
 from repro.kernels.dedup import unique_columns
 from repro.kernels.enumeration import gray_pattern_masses, pattern_block
 from repro.utils.errors import ValidationError
@@ -222,8 +223,13 @@ def exact_bound(
     unique columns together inside the Gray-code sweep — one wide
     incremental update per pattern instead of one enumeration per
     column, which is what keeps the paper's n = 25 sweeps tractable.
+
+    ``dependency`` may be a raw array or column, a
+    ``DependencyMatrix``, a scipy sparse matrix, or a whole sensing
+    problem in either format (its D matrix is used) — see
+    :func:`repro.data.as_dependency_array`.
     """
-    dep = np.asarray(dependency)
+    dep = as_dependency_array(dependency)
     if dep.ndim == 1:
         return exact_column_bound(dep, params)
     if dep.ndim != 2:

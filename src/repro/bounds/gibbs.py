@@ -54,6 +54,7 @@ import numpy as np
 
 from repro.bounds.exact import BoundResult, _emission_rates, _unique_columns
 from repro.core.model import SourceParameters
+from repro.data.coerce import as_dependency_array
 from repro.kernels.gibbs import RATE_EPS, BlockedGibbsChains, GibbsTables
 from repro.parallel.config import ParallelConfig
 from repro.parallel.executor import parallel_map
@@ -307,9 +308,14 @@ def gibbs_bound(
     ``SeedSequence``-spawned child seed (possibly in worker processes),
     which makes the result invariant to ``n_jobs`` — see the module
     docstring.
+
+    ``dependency`` may be a raw array or column, a
+    ``DependencyMatrix``, a scipy sparse matrix, or a whole sensing
+    problem in either format (its D matrix is used) — see
+    :func:`repro.data.as_dependency_array`.
     """
     config = config or GibbsConfig()
-    dep = np.asarray(dependency)
+    dep = as_dependency_array(dependency)
     if dep.ndim == 1:
         columns = dep[None, :]
         weights = np.ones(1)

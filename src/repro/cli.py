@@ -44,7 +44,14 @@ from repro.eval import (
     table1_walkthrough,
 )
 from repro.datasets.summary import format_table, summarize_catalog
-from repro.io import load_problem, save_problem, save_result, save_tweets
+from repro.io import (
+    load_problem,
+    load_sparse_problem,
+    save_problem,
+    save_result,
+    save_sparse_problem,
+    save_tweets,
+)
 from repro.parallel import ParallelConfig
 from repro.synthetic import GeneratorConfig, empirical_parameters, generate_dataset
 from repro.utils.errors import ReproError
@@ -124,6 +131,21 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _load_any_problem(path: str):
+    """Load a problem, routing ``.npz`` paths to the sparse reader."""
+    if str(path).endswith(".npz"):
+        return load_sparse_problem(path)
+    return load_problem(path)
+
+
+def _save_any_problem(problem, path: str) -> None:
+    """Save a problem, routing ``.npz`` paths to the sparse writer."""
+    if str(path).endswith(".npz"):
+        save_sparse_problem(problem, path)
+    else:
+        save_problem(problem, path)
+
+
 def _cmd_generate(args) -> int:
     kwargs = {
         "n_sources": args.n_sources,
@@ -134,11 +156,11 @@ def _cmd_generate(args) -> int:
         kwargs["n_trees"] = args.n_trees
     dataset = generate_dataset(GeneratorConfig(**kwargs), seed=args.seed)
     problem = dataset.problem if args.with_truth else dataset.problem.without_truth()
-    save_problem(problem, args.out)
+    _save_any_problem(problem, args.out)
     print(
         f"wrote {args.out}: {problem.n_sources} sources x "
         f"{problem.n_assertions} assertions, "
-        f"{problem.claims.n_claims} claims "
+        f"{problem.n_claims} claims "
         f"({problem.dependent_claim_fraction():.0%} dependent)"
         + (", with truth labels" if args.with_truth else "")
     )
@@ -146,7 +168,7 @@ def _cmd_generate(args) -> int:
 
 
 def _cmd_estimate(args) -> int:
-    problem = load_problem(args.problem).without_truth()
+    problem = _load_any_problem(args.problem).without_truth()
     name = args.algorithm
     if name == "em-ext":
         finder = make_fact_finder(
@@ -161,7 +183,7 @@ def _cmd_estimate(args) -> int:
     print(f"assertions judged true: {int(result.decisions.sum())} / {result.n_assertions}")
     top = result.top_k(args.top)
     for rank, assertion in enumerate(top, start=1):
-        label = problem.claims.assertion_ids[assertion]
+        label = problem.assertion_ids[assertion]
         print(f"  {rank:>3}. {label}  score={result.scores[assertion]:.4f}")
     if args.out:
         save_result(result, args.out)
@@ -170,7 +192,7 @@ def _cmd_estimate(args) -> int:
 
 
 def _cmd_bound(args) -> int:
-    problem = load_problem(args.problem)
+    problem = _load_any_problem(args.problem)
     if not problem.has_truth:
         print(
             "error: the bound needs oracle parameters, which are measured "
@@ -179,7 +201,9 @@ def _cmd_bound(args) -> int:
         )
         return 2
     params = empirical_parameters(problem).clamp(1e-4)
-    dependency = problem.dependency.values
+    # The bound functions accept the problem directly (any storage
+    # format) through repro.data.as_dependency_array.
+    dependency = problem
     method = args.method
     if method == "auto":
         method = "exact" if problem.n_sources <= 20 else "gibbs"

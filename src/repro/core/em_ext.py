@@ -35,14 +35,15 @@ documented in DESIGN.md §5.5):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
-from repro.core.matrix import SensingProblem
 from repro.core.model import DEFAULT_EPSILON, SourceParameters
 from repro.core.result import EstimationResult
-from repro.engine.backends import DenseBackend
+from repro.data.coerce import coerce_problem
+from repro.data.protocol import FORMAT_CSR, FORMAT_DENSE, Problem
+from repro.engine.backends import CSRBackend, DenseBackend, make_backend
 from repro.engine.driver import EMDriver, IterationCallback
 from repro.engine.initialisation import staged_initialisation, support_initialisation
 from repro.utils.errors import ValidationError
@@ -166,8 +167,16 @@ class EMExtEstimator:
 
     # -- public API ------------------------------------------------------------
 
-    def fit(self, problem: SensingProblem) -> EstimationResult:
-        """Run EM on ``problem`` and return the richest result object."""
+    def fit(self, problem: Problem) -> EstimationResult:
+        """Run EM on ``problem`` (dense or CSR) and return the richest result.
+
+        Dense problems run on the dense backend, CSR problems on the
+        sparse backend — same update equations, same fixed points.  The
+        one capability gap is random initialisation (random restarts or
+        ``init_strategy="random"`` without explicit starting
+        parameters), which only the dense backend supports; CSR input
+        is then densified under the memory budget.
+        """
         # Usage errors surface here, eagerly; inside the restart loop the
         # driver would treat them as per-restart runtime faults.
         if (
@@ -179,7 +188,16 @@ class EMExtEstimator:
                 f"{self.initial_parameters.n_sources} sources but the "
                 f"problem has {problem.n_sources}"
             )
-        backend = DenseBackend(
+        needs_random_draws = self.initial_parameters is None and (
+            self.config.init_strategy == "random" or self.config.n_restarts > 1
+        )
+        needs = (
+            (FORMAT_DENSE,)
+            if needs_random_draws
+            else (FORMAT_DENSE, FORMAT_CSR)
+        )
+        problem = coerce_problem(problem, needs=needs)
+        backend = make_backend(
             problem,
             smoothing=self.config.smoothing,
             epsilon=self.config.epsilon,
@@ -200,7 +218,7 @@ class EMExtEstimator:
 
     # -- internals ---------------------------------------------------------------
 
-    def _initialiser(self, backend: DenseBackend):
+    def _initialiser(self, backend: "Union[DenseBackend, CSRBackend]"):
         """Restart ``index`` → starting parameters (driver protocol)."""
 
         def _init(index: int, rng: np.random.Generator) -> SourceParameters:
@@ -218,7 +236,7 @@ class EMExtEstimator:
         return _init
 
     def _initial_parameters(
-        self, backend: DenseBackend, rng: np.random.Generator
+        self, backend: "Union[DenseBackend, CSRBackend]", rng: np.random.Generator
     ) -> SourceParameters:
         if self.initial_parameters is not None:
             if self.initial_parameters.n_sources != backend.n_sources:
@@ -232,7 +250,7 @@ class EMExtEstimator:
 
 
 def run_em_ext(
-    problem: SensingProblem,
+    problem: Problem,
     *,
     seed: SeedLike = None,
     max_iterations: int = 200,

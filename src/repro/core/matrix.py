@@ -1,271 +1,27 @@
-"""Source-claim matrix, dependency matrix, and the sensing problem.
+"""Dense sensing-problem containers (compatibility adapter).
 
-Terminology from Section II-A of the paper:
+The containers themselves now live in the format-polymorphic data
+layer (:mod:`repro.data.dense`); this module re-exports them under
+their historical import path so existing code and pickles keep
+working.  ``SensingProblem`` is :class:`repro.data.DenseProblem`.
 
-* an **assertion** :math:`C_j` is any statement that evaluates to true
-  or false;
-* a **claim** :math:`S_iC_j = 1` is the act of source :math:`S_i`
-  reporting assertion :math:`C_j`;
-* the **source-claim matrix** ``SC`` collects all claims
-  (``SC[i, j] = 1`` iff source ``i`` asserted ``j``);
-* the **dependency indicator** ``D[i, j] = 1`` marks cells where an
-  ancestor of source ``i`` (someone ``i`` follows, directly or
-  transitively, depending on the extraction policy) made assertion
-  ``j`` before source ``i`` would have.
-
-The paper only defines ``D`` on cells where a claim exists; the EM
-M-step however partitions *non*-claims by dependency too (the sets
-:math:`S_iC_0^{D_0}` and :math:`S_iC_0^{D_1}`), so this library defines
-``D`` on every cell: a non-claim cell is dependent when the source *had
-the opportunity* to repeat the assertion from an ancestor.  See
-DESIGN.md §5.2.
+See the module docstring of :mod:`repro.data.dense` for the paper
+terminology (Section II-A) and DESIGN.md §5.2 for the every-cell
+definition of the dependency indicators.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from repro.data.dense import (
+    DenseProblem,
+    DependencyMatrix,
+    SensingProblem,
+    SourceClaimMatrix,
+)
 
-import numpy as np
-
-from repro.utils.errors import ValidationError
-from repro.utils.validation import check_binary_matrix, check_same_shape
-
-
-class SourceClaimMatrix:
-    """An ``n_sources × n_assertions`` binary claim matrix.
-
-    Thin, validated wrapper over an int8 numpy array with the counting
-    helpers the estimators and reports need.
-    """
-
-    def __init__(
-        self,
-        matrix: np.ndarray,
-        *,
-        source_ids: Optional[Sequence[str]] = None,
-        assertion_ids: Optional[Sequence[str]] = None,
-    ):
-        self._matrix = check_binary_matrix(matrix, "source-claim matrix")
-        n, m = self._matrix.shape
-        self.source_ids = self._check_ids(source_ids, n, "source_ids")
-        self.assertion_ids = self._check_ids(assertion_ids, m, "assertion_ids")
-
-    @staticmethod
-    def _check_ids(ids: Optional[Sequence[str]], expected: int, name: str) -> List[str]:
-        if ids is None:
-            prefix = "S" if name == "source_ids" else "C"
-            return [f"{prefix}{k}" for k in range(expected)]
-        ids = list(ids)
-        if len(ids) != expected:
-            raise ValidationError(
-                f"{name} has {len(ids)} entries but the matrix implies {expected}"
-            )
-        if len(set(ids)) != len(ids):
-            raise ValidationError(f"{name} contains duplicates")
-        return ids
-
-    @classmethod
-    def from_claims(
-        cls,
-        claims: Iterable[Tuple[int, int]],
-        n_sources: int,
-        n_assertions: int,
-        **kwargs,
-    ) -> "SourceClaimMatrix":
-        """Build a matrix from an iterable of ``(source, assertion)`` pairs."""
-        matrix = np.zeros((n_sources, n_assertions), dtype=np.int8)
-        for i, j in claims:
-            if not (0 <= i < n_sources and 0 <= j < n_assertions):
-                raise ValidationError(
-                    f"claim ({i}, {j}) outside matrix of shape "
-                    f"({n_sources}, {n_assertions})"
-                )
-            matrix[i, j] = 1
-        return cls(matrix, **kwargs)
-
-    # -- array-ish interface -------------------------------------------------
-
-    @property
-    def values(self) -> np.ndarray:
-        """The underlying int8 array (not a copy; treat as read-only)."""
-        return self._matrix
-
-    @property
-    def shape(self) -> Tuple[int, int]:
-        """``(n_sources, n_assertions)``."""
-        return self._matrix.shape
-
-    @property
-    def n_sources(self) -> int:
-        """Number of sources (rows)."""
-        return self._matrix.shape[0]
-
-    @property
-    def n_assertions(self) -> int:
-        """Number of assertions (columns)."""
-        return self._matrix.shape[1]
-
-    def __getitem__(self, key):
-        return self._matrix[key]
-
-    def __eq__(self, other) -> bool:
-        return (
-            isinstance(other, SourceClaimMatrix)
-            and self.shape == other.shape
-            and bool(np.array_equal(self._matrix, other._matrix))
-        )
-
-    def __repr__(self) -> str:
-        return (
-            f"SourceClaimMatrix(n_sources={self.n_sources}, "
-            f"n_assertions={self.n_assertions}, n_claims={self.n_claims})"
-        )
-
-    # -- statistics -----------------------------------------------------------
-
-    @property
-    def n_claims(self) -> int:
-        """Total number of claims (ones) in the matrix."""
-        return int(self._matrix.sum())
-
-    @property
-    def density(self) -> float:
-        """Fraction of cells that are claims."""
-        if self._matrix.size == 0:
-            return 0.0
-        return self.n_claims / self._matrix.size
-
-    def claims_per_source(self) -> np.ndarray:
-        """Row sums: how many assertions each source reported."""
-        return self._matrix.sum(axis=1)
-
-    def claims_per_assertion(self) -> np.ndarray:
-        """Column sums: how many sources reported each assertion."""
-        return self._matrix.sum(axis=0)
-
-    def supporters(self, assertion: int) -> np.ndarray:
-        """Indices of sources that reported ``assertion``."""
-        return np.flatnonzero(self._matrix[:, assertion])
-
-    def silent_assertions(self) -> np.ndarray:
-        """Indices of assertions nobody reported."""
-        return np.flatnonzero(self.claims_per_assertion() == 0)
-
-
-class DependencyMatrix:
-    """Binary dependency indicators ``D`` with the same shape as ``SC``."""
-
-    def __init__(self, matrix: np.ndarray):
-        self._matrix = check_binary_matrix(matrix, "dependency matrix")
-
-    @classmethod
-    def independent(cls, n_sources: int, n_assertions: int) -> "DependencyMatrix":
-        """All-zero indicators: every claim is independent (the IPSN'12 world)."""
-        return cls(np.zeros((n_sources, n_assertions), dtype=np.int8))
-
-    @property
-    def values(self) -> np.ndarray:
-        """The underlying int8 array (not a copy; treat as read-only)."""
-        return self._matrix
-
-    @property
-    def shape(self) -> Tuple[int, int]:
-        """``(n_sources, n_assertions)``."""
-        return self._matrix.shape
-
-    def __getitem__(self, key):
-        return self._matrix[key]
-
-    def __eq__(self, other) -> bool:
-        return (
-            isinstance(other, DependencyMatrix)
-            and self.shape == other.shape
-            and bool(np.array_equal(self._matrix, other._matrix))
-        )
-
-    def __repr__(self) -> str:
-        n_dep = int(self._matrix.sum())
-        return f"DependencyMatrix(shape={self.shape}, n_dependent_cells={n_dep})"
-
-    @property
-    def dependent_fraction(self) -> float:
-        """Fraction of cells flagged as dependent."""
-        if self._matrix.size == 0:
-            return 0.0
-        return float(self._matrix.mean())
-
-
-@dataclass
-class SensingProblem:
-    """A complete fact-finding input: claims, dependencies, and metadata.
-
-    ``truth`` (the per-assertion ground-truth labels) is optional — it
-    is present for synthetic data, absent for field data — and is never
-    consulted by estimators; only the evaluation harness reads it.
-    """
-
-    claims: SourceClaimMatrix
-    dependency: DependencyMatrix
-    truth: Optional[np.ndarray] = None
-
-    def __post_init__(self) -> None:
-        if isinstance(self.claims, np.ndarray):
-            self.claims = SourceClaimMatrix(self.claims)
-        if isinstance(self.dependency, np.ndarray):
-            self.dependency = DependencyMatrix(self.dependency)
-        check_same_shape(
-            self.claims.values, self.dependency.values, ("claims", "dependency")
-        )
-        if self.truth is not None:
-            truth = np.asarray(self.truth)
-            if truth.shape != (self.claims.n_assertions,):
-                raise ValidationError(
-                    f"truth must have shape ({self.claims.n_assertions},), "
-                    f"got {truth.shape}"
-                )
-            if truth.size and not np.isin(truth, (0, 1)).all():
-                raise ValidationError("truth must contain only 0/1 labels")
-            self.truth = truth.astype(np.int8)
-
-    @classmethod
-    def independent(
-        cls, claims: np.ndarray, truth: Optional[np.ndarray] = None
-    ) -> "SensingProblem":
-        """Wrap a raw claim matrix with all-independent indicators."""
-        matrix = SourceClaimMatrix(claims)
-        return cls(
-            claims=matrix,
-            dependency=DependencyMatrix.independent(*matrix.shape),
-            truth=truth,
-        )
-
-    @property
-    def n_sources(self) -> int:
-        """Number of sources."""
-        return self.claims.n_sources
-
-    @property
-    def n_assertions(self) -> int:
-        """Number of assertions."""
-        return self.claims.n_assertions
-
-    @property
-    def has_truth(self) -> bool:
-        """Whether ground-truth labels are attached."""
-        return self.truth is not None
-
-    def without_truth(self) -> "SensingProblem":
-        """A copy with ground truth stripped (what an estimator may see)."""
-        return SensingProblem(claims=self.claims, dependency=self.dependency)
-
-    def dependent_claim_fraction(self) -> float:
-        """Fraction of *claims* (ones in SC) that are dependent."""
-        sc = self.claims.values
-        n_claims = sc.sum()
-        if n_claims == 0:
-            return 0.0
-        return float((sc & self.dependency.values).sum() / n_claims)
-
-
-__all__ = ["DependencyMatrix", "SensingProblem", "SourceClaimMatrix"]
+__all__ = [
+    "DenseProblem",
+    "DependencyMatrix",
+    "SensingProblem",
+    "SourceClaimMatrix",
+]

@@ -1,0 +1,66 @@
+"""``repro.data`` — the format-polymorphic problem layer.
+
+One sensing problem, two physical layouts, one protocol:
+
+* :class:`~repro.data.protocol.Problem` — the structural interface
+  every consumer annotates against;
+* :class:`~repro.data.dense.DenseProblem` (alias ``SensingProblem``)
+  and :class:`~repro.data.csr.CsrProblem` (alias
+  ``SparseSensingProblem``) — the two adapters, both carrying
+  ``source_ids`` / ``assertion_ids`` and optional ``truth``;
+* :meth:`~repro.data.dense.DenseProblem.csr_view` /
+  :meth:`~repro.data.csr.CsrProblem.dense_view` — lossless
+  conversions, densification guarded by the memory budget
+  (:mod:`repro.data.memory`, default 1 GiB →
+  :class:`~repro.utils.errors.MemoryBudgetError` instead of a silent
+  multi-GB allocation);
+* :func:`~repro.data.coerce.coerce_problem` — capability negotiation:
+  consumers declare the formats they accept, the layer converts or
+  refuses loudly.
+
+See docs/ARCHITECTURE.md ("Data layer") for the full contract.
+"""
+
+from repro.data.coerce import Needs, as_dependency_array, coerce_problem
+from repro.data.csr import CsrProblem, SparseSensingProblem
+from repro.data.dense import (
+    DenseProblem,
+    DependencyMatrix,
+    SensingProblem,
+    SourceClaimMatrix,
+)
+from repro.data.memory import (
+    BYTES_PER_DENSE_CELL,
+    DEFAULT_DENSE_BUDGET_BYTES,
+    check_densify,
+    dense_budget,
+    estimate_dense_bytes,
+    get_dense_budget,
+    set_dense_budget,
+)
+from repro.data.protocol import FORMATS, FORMAT_CSR, FORMAT_DENSE, Problem
+from repro.utils.errors import MemoryBudgetError
+
+__all__ = [
+    "BYTES_PER_DENSE_CELL",
+    "CsrProblem",
+    "DEFAULT_DENSE_BUDGET_BYTES",
+    "DenseProblem",
+    "DependencyMatrix",
+    "FORMATS",
+    "FORMAT_CSR",
+    "FORMAT_DENSE",
+    "MemoryBudgetError",
+    "Needs",
+    "Problem",
+    "SensingProblem",
+    "SourceClaimMatrix",
+    "SparseSensingProblem",
+    "as_dependency_array",
+    "check_densify",
+    "coerce_problem",
+    "dense_budget",
+    "estimate_dense_bytes",
+    "get_dense_budget",
+    "set_dense_budget",
+]

@@ -1,0 +1,130 @@
+"""The densification memory budget.
+
+Converting a CSR problem to dense allocates two ``(n, m)`` int8 arrays.
+For small synthetic matrices that is microscopic; for the paper's Paris
+Attack crawl (38 844 × 23 513, Table III) it is ~1.8 GB — almost always
+a bug, not an intent.  Every densification in the data layer therefore
+runs through :func:`check_densify`, which compares the *estimated*
+allocation against a configurable budget and raises
+:class:`~repro.utils.errors.MemoryBudgetError` before touching memory.
+
+The budget defaults to 1 GiB, can be overridden globally
+(:func:`set_dense_budget`, or the ``REPRO_DENSE_BUDGET_BYTES``
+environment variable read at import), per call site (the ``budget=``
+parameter on the views and :func:`~repro.data.coerce.coerce_problem`),
+or lexically (:func:`dense_budget`, a context manager).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.utils.errors import MemoryBudgetError, ValidationError
+
+#: Default densification budget: 1 GiB covers every matrix in the
+#: paper's synthetic evaluation with orders of magnitude to spare while
+#: refusing the Table III crawl (~1.8 GB dense).
+DEFAULT_DENSE_BUDGET_BYTES = 1 << 30
+
+#: Bytes per cell of a materialised dense problem: one int8 claim
+#: matrix plus one int8 dependency matrix.
+BYTES_PER_DENSE_CELL = 2
+
+
+def _initial_budget() -> int:
+    raw = os.environ.get("REPRO_DENSE_BUDGET_BYTES")
+    if raw is None:
+        return DEFAULT_DENSE_BUDGET_BYTES
+    try:
+        value = int(raw)
+    except ValueError as error:
+        raise ValidationError(
+            f"REPRO_DENSE_BUDGET_BYTES must be an integer, got {raw!r}"
+        ) from error
+    if value <= 0:
+        raise ValidationError(
+            f"REPRO_DENSE_BUDGET_BYTES must be positive, got {value}"
+        )
+    return value
+
+
+_budget_bytes: int = _initial_budget()
+
+
+def get_dense_budget() -> int:
+    """The currently effective densification budget in bytes."""
+    return _budget_bytes
+
+
+def set_dense_budget(budget_bytes: int) -> int:
+    """Set the global densification budget; returns the previous value."""
+    global _budget_bytes
+    if not isinstance(budget_bytes, int) or isinstance(budget_bytes, bool):
+        raise ValidationError(
+            f"budget_bytes must be an integer byte count, got {budget_bytes!r}"
+        )
+    if budget_bytes <= 0:
+        raise ValidationError(
+            f"budget_bytes must be positive, got {budget_bytes}"
+        )
+    previous = _budget_bytes
+    _budget_bytes = budget_bytes
+    return previous
+
+
+@contextmanager
+def dense_budget(budget_bytes: int) -> Iterator[int]:
+    """Temporarily override the global densification budget."""
+    previous = set_dense_budget(budget_bytes)
+    try:
+        yield budget_bytes
+    finally:
+        set_dense_budget(previous)
+
+
+def estimate_dense_bytes(n_sources: int, n_assertions: int) -> int:
+    """Estimated allocation for densifying an ``(n, m)`` problem."""
+    return BYTES_PER_DENSE_CELL * int(n_sources) * int(n_assertions)
+
+
+def check_densify(
+    n_sources: int,
+    n_assertions: int,
+    budget: Optional[int] = None,
+) -> int:
+    """Guard one densification against the budget.
+
+    Returns the estimated byte count when it fits; raises
+    :class:`~repro.utils.errors.MemoryBudgetError` otherwise.  An
+    explicit ``budget`` overrides the global one for this call only.
+    """
+    effective = _budget_bytes if budget is None else budget
+    if not isinstance(effective, int) or isinstance(effective, bool) or effective <= 0:
+        raise ValidationError(
+            f"budget must be a positive integer byte count, got {effective!r}"
+        )
+    required = estimate_dense_bytes(n_sources, n_assertions)
+    if required > effective:
+        raise MemoryBudgetError(
+            f"densifying a {n_sources} x {n_assertions} problem needs "
+            f"~{required / 1e9:.2f} GB but the budget is "
+            f"{effective / 1e9:.2f} GB; keep it sparse, raise the budget "
+            "(repro.data.set_dense_budget / REPRO_DENSE_BUDGET_BYTES) or "
+            "pass an explicit budget= to the view",
+            required_bytes=required,
+            budget_bytes=effective,
+        )
+    return required
+
+
+__all__ = [
+    "BYTES_PER_DENSE_CELL",
+    "DEFAULT_DENSE_BUDGET_BYTES",
+    "check_densify",
+    "dense_budget",
+    "estimate_dense_bytes",
+    "get_dense_budget",
+    "set_dense_budget",
+]

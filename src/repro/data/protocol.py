@@ -1,0 +1,105 @@
+"""The format-polymorphic problem protocol.
+
+One sensing problem — the source-claim matrix ``SC``, the dependency
+indicators ``D``, optional per-assertion ground truth and the
+source/assertion identifiers — can live in two physical layouts:
+
+* **dense** (:class:`~repro.data.dense.DenseProblem`): two int8
+  ndarrays, the natural form for the paper's synthetic studies
+  (Figs. 3–10, tens of sources);
+* **csr** (:class:`~repro.data.csr.CsrProblem`): two scipy CSR
+  matrices with int8 data, the only viable form for field-scale crawls
+  (Table III: 38 844 × 23 513 would be ~1.8 GB dense).
+
+:class:`Problem` is the structural protocol both satisfy.  Consumers
+that work on either layout annotate against the protocol; consumers
+with a layout requirement go through
+:func:`~repro.data.coerce.coerce_problem`, which converts via the
+zero-copy views (guarded by the densification memory budget of
+:mod:`repro.data.memory`) or refuses loudly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Protocol, Tuple, runtime_checkable
+
+import numpy as np
+
+#: Format tag of :class:`~repro.data.dense.DenseProblem`.
+FORMAT_DENSE = "dense"
+
+#: Format tag of :class:`~repro.data.csr.CsrProblem`.
+FORMAT_CSR = "csr"
+
+#: Every format tag the data layer knows, in preference-neutral order.
+FORMATS: Tuple[str, ...] = (FORMAT_DENSE, FORMAT_CSR)
+
+
+@runtime_checkable
+class Problem(Protocol):
+    """Structural interface of a sensing problem in any storage format.
+
+    The protocol is deliberately small: identity (shape, ids, truth)
+    plus the two view conversions.  Numerical access stays on the
+    concrete adapters — estimators that need raw arrays first coerce to
+    the layout they support.
+    """
+
+    @property
+    def format(self) -> str:
+        """Storage-format tag: :data:`FORMAT_DENSE` or :data:`FORMAT_CSR`."""
+        ...
+
+    @property
+    def n_sources(self) -> int:
+        """Number of sources (matrix rows)."""
+        ...
+
+    @property
+    def n_assertions(self) -> int:
+        """Number of assertions (matrix columns)."""
+        ...
+
+    @property
+    def n_claims(self) -> int:
+        """Total number of claims (ones in ``SC``)."""
+        ...
+
+    @property
+    def source_ids(self) -> List[str]:
+        """Per-row source identifiers."""
+        ...
+
+    @property
+    def assertion_ids(self) -> List[str]:
+        """Per-column assertion identifiers."""
+        ...
+
+    @property
+    def truth(self) -> Optional[np.ndarray]:
+        """Optional per-assertion 0/1 ground-truth labels."""
+        ...
+
+    @property
+    def has_truth(self) -> bool:
+        """Whether ground-truth labels are attached."""
+        ...
+
+    def dense_view(self, *, budget: Optional[int] = None) -> "Problem":
+        """This problem in dense form (identity on dense problems)."""
+        ...
+
+    def csr_view(self) -> "Problem":
+        """This problem in CSR form (identity on CSR problems)."""
+        ...
+
+    def without_truth(self) -> "Problem":
+        """A copy with ground truth stripped, same format and ids."""
+        ...
+
+    def dependent_claim_fraction(self) -> float:
+        """Fraction of claims flagged as dependent."""
+        ...
+
+
+__all__ = ["FORMATS", "FORMAT_CSR", "FORMAT_DENSE", "Problem"]

@@ -31,7 +31,8 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from repro.core.matrix import SensingProblem
+from repro.data.dense import DenseProblem
+from repro.data.protocol import FORMATS, FORMAT_DENSE, Problem
 from repro.datasets.schema import AssertionLabel, DatasetSummary, Tweet
 from repro.datasets.vocab import get_vocabulary, render_tweet_text
 from repro.network.dependency import extract_dependency
@@ -106,10 +107,12 @@ class EvaluationSlice:
     ``problem``; ``problem.truth`` is the binary projection (opinion →
     false) used only by synthetic-style metrics.  ``source_ids`` /
     ``assertion_ids`` map the slice's compact indices back to the full
-    dataset's ids.
+    dataset's ids; the problem itself carries the string forms
+    (``u{sid}`` / ``a{aid}``), so the mapping survives format
+    conversions and serialisation.
     """
 
-    problem: SensingProblem
+    problem: Problem
     labels: List[AssertionLabel]
     source_ids: List[int]
     assertion_ids: List[int]
@@ -198,8 +201,19 @@ class TwitterDataset:
         day_end = day_start + 1.0
         return [t for t in self.tweets if day_start <= t.time < day_end]
 
-    def evaluation_slice(self, *, policy: str = "direct") -> EvaluationSlice:
-        """Build the evaluation-day sensing problem (Section V-C input)."""
+    def evaluation_slice(
+        self, *, policy: str = "direct", output_format: str = FORMAT_DENSE
+    ) -> EvaluationSlice:
+        """Build the evaluation-day sensing problem (Section V-C input).
+
+        ``output_format`` selects the storage format of the slice's
+        problem (``"dense"`` by default, ``"csr"`` for crawl-scale
+        runs).
+        """
+        if output_format not in FORMATS:
+            raise ValidationError(
+                f"output_format must be one of {FORMATS}, got {output_format!r}"
+            )
         tweets = self.evaluation_tweets()
         if not tweets:
             raise ValidationError(
@@ -228,15 +242,25 @@ class TwitterDataset:
             if follower in source_index and followee in source_index:
                 subgraph.add_follow(source_index[follower], source_index[followee])
         claims, dependency = extract_dependency(
-            log, subgraph, n_assertions=len(assertion_ids), policy=policy
+            log,
+            subgraph,
+            n_assertions=len(assertion_ids),
+            policy=policy,
+            source_ids=[f"u{sid}" for sid in source_ids],
+            assertion_ids=[f"a{aid}" for aid in assertion_ids],
         )
         labels = [self.labels[aid] for aid in assertion_ids]
         truth = np.array(
             [1 if label is AssertionLabel.TRUE else 0 for label in labels],
             dtype=np.int8,
         )
+        problem: Problem = DenseProblem(
+            claims=claims, dependency=dependency, truth=truth
+        )
+        if output_format != FORMAT_DENSE:
+            problem = problem.csr_view()
         return EvaluationSlice(
-            problem=SensingProblem(claims=claims, dependency=dependency, truth=truth),
+            problem=problem,
             labels=labels,
             source_ids=source_ids,
             assertion_ids=assertion_ids,

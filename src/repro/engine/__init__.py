@@ -33,7 +33,12 @@ initialisers consume the spawned restart generators in the parent, in
 serial order).
 """
 
-from repro.engine.backends import CSRBackend, DenseBackend, MaskedDenseBackend
+from repro.engine.backends import (
+    CSRBackend,
+    DenseBackend,
+    MaskedDenseBackend,
+    make_backend,
+)
 from repro.engine.driver import (
     DriverOutcome,
     EMDriver,
@@ -76,6 +81,7 @@ __all__ = [
     "SufficientStatistics",
     "TelemetryRecorder",
     "log_likelihood_from_columns",
+    "make_backend",
     "ratio_update",
     "stable_posterior",
     "staged_initialisation",

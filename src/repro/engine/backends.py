@@ -44,7 +44,7 @@ careful legacy paths.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Any, Optional, Tuple, Union
 
 import numpy as np
 
@@ -74,6 +74,11 @@ from repro.kernels.tables import (
 )
 from repro.utils.errors import ValidationError
 from repro.utils.validation import check_probability
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.baselines.em_independent import IndependentParameters
+    from repro.data.csr import CsrProblem
+    from repro.data.protocol import Problem
 
 
 def _check_rates_finite(
@@ -117,7 +122,7 @@ class DenseBackend:
         *,
         smoothing: float = 0.0,
         epsilon: float = DEFAULT_EPSILON,
-    ):
+    ) -> None:
         self.problem = problem
         self.smoothing = smoothing
         self.epsilon = epsilon
@@ -184,7 +189,12 @@ class DenseBackend:
         z_post = posterior  # Z_j = P(C_j = 1 | ·)
         y_post = 1.0 - posterior  # Y_j = P(C_j = 0 | ·)
 
-        def _ratio(claims, weight, mask, fallback):
+        def _ratio(
+            claims: np.ndarray,
+            weight: np.ndarray,
+            mask: np.ndarray,
+            fallback: np.ndarray,
+        ) -> np.ndarray:
             return ratio_update(
                 claims @ weight,
                 mask @ weight,
@@ -212,7 +222,7 @@ class DenseBackend:
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Per-column log likelihoods, table-cached and column-deduped."""
 
-        def compute():
+        def compute() -> Tuple[np.ndarray, np.ndarray]:
             tables = LogParameterTables.build(params)
             if not tables.finite:
                 # Unclamped degenerate θ: careful legacy path.
@@ -333,16 +343,20 @@ class CSRBackend:
 
     def __init__(
         self,
-        problem,
+        problem: "CsrProblem",
         *,
         smoothing: float = 0.0,
         epsilon: float = DEFAULT_EPSILON,
-    ):
+    ) -> None:
         self.problem = problem
         self.smoothing = smoothing
         self.epsilon = epsilon
-        sc = problem.claims
-        self.dep = problem.dependency
+        # The problem stores int8 data; the BLAS boundary is here — all
+        # mat-vec products below run in float64, exactly as they did
+        # when the container itself stored float64 (values are 0/1, so
+        # the cast is exact and the fixed points bit-identical).
+        sc = problem.claims.astype(np.float64)
+        self.dep = problem.dependency.astype(np.float64)
         self.sc_dep = sc.multiply(self.dep).tocsr()  # dependent claims
         self.sc_indep = (sc - self.sc_dep).tocsr()  # independent claims
         self._columns_cache = ParamsKeyedCache()
@@ -383,7 +397,12 @@ class CSRBackend:
         dep_z = np.asarray(self.dep @ z_mass).ravel()
         dep_y = np.asarray(self.dep @ y_mass).ravel()
 
-        def _ratio(matrix, weight, denominator, fallback):
+        def _ratio(
+            matrix: Any,
+            weight: np.ndarray,
+            denominator: np.ndarray,
+            fallback: np.ndarray,
+        ) -> np.ndarray:
             numerator = np.asarray(matrix @ weight).ravel()
             # The subtracted denominator can undershoot the numerator
             # by float rounding; clip_ratio keeps the update a rate.
@@ -414,7 +433,7 @@ class CSRBackend:
     def _column_log_likelihoods(
         self, params: SourceParameters
     ) -> Tuple[np.ndarray, np.ndarray]:
-        def compute():
+        def compute() -> Tuple[np.ndarray, np.ndarray]:
             t = LogParameterTables.build(params)
             dep_t = self.dep.T
             indep_t = self.sc_indep.T
@@ -500,7 +519,7 @@ class MaskedDenseBackend:
         *,
         smoothing: float = 0.0,
         epsilon: float = DEFAULT_EPSILON,
-    ):
+    ) -> None:
         if mask.shape != sc.shape:
             raise ValidationError(
                 f"mask shape {mask.shape} does not match claims {sc.shape}"
@@ -528,7 +547,7 @@ class MaskedDenseBackend:
 
     # -- parameter construction --------------------------------------------------
 
-    def neutral(self):
+    def neutral(self) -> IndependentParameters:
         from repro.baselines.em_independent import IndependentParameters
 
         return IndependentParameters(
@@ -537,7 +556,7 @@ class MaskedDenseBackend:
             z=0.5,
         )
 
-    def random_params(self, rng: np.random.Generator):
+    def random_params(self, rng: np.random.Generator) -> IndependentParameters:
         from repro.baselines.em_independent import IndependentParameters
 
         return IndependentParameters(
@@ -551,13 +570,15 @@ class MaskedDenseBackend:
     def support_counts(self) -> np.ndarray:
         return self.sc_mask.sum(axis=0)
 
-    def m_step(self, posterior: np.ndarray, previous):
+    def m_step(
+        self, posterior: np.ndarray, previous: IndependentParameters
+    ) -> IndependentParameters:
         from repro.baselines.em_independent import IndependentParameters
 
         z_post = posterior
         y_post = 1.0 - posterior
 
-        def _ratio(weight, fallback):
+        def _ratio(weight: np.ndarray, fallback: np.ndarray) -> np.ndarray:
             return ratio_update(
                 self.sc_mask @ weight,
                 self.mask @ weight,
@@ -572,8 +593,10 @@ class MaskedDenseBackend:
         )
         return IndependentParameters(t=t, b=b, z=z).clamp(self.epsilon)
 
-    def _column_log_likelihoods(self, params) -> Tuple[np.ndarray, np.ndarray]:
-        def compute():
+    def _column_log_likelihoods(
+        self, params: IndependentParameters
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        def compute() -> Tuple[np.ndarray, np.ndarray]:
             tables = IndependenceLogTables.build(params.t, params.b)
             if not tables.finite:
                 log_t, log_1t = tables.log_t, tables.log_1t
@@ -594,15 +617,42 @@ class MaskedDenseBackend:
 
         return self._columns_cache.get(params, compute)
 
-    def posterior(self, params) -> np.ndarray:
+    def posterior(self, params: IndependentParameters) -> np.ndarray:
         log_true, log_false = self._column_log_likelihoods(params)
         return stable_posterior(log_true, log_false, params.z)
 
-    def e_step(self, params) -> Tuple[np.ndarray, float]:
+    def e_step(self, params: IndependentParameters) -> Tuple[np.ndarray, float]:
         log_true, log_false = self._column_log_likelihoods(params)
         posterior = stable_posterior(log_true, log_false, params.z)
         log_likelihood = log_likelihood_from_columns(log_true, log_false, params.z)
         return posterior, log_likelihood
 
 
-__all__ = ["CSRBackend", "DenseBackend", "MaskedDenseBackend"]
+def make_backend(
+    problem: "Problem",
+    *,
+    smoothing: float = 0.0,
+    epsilon: float = DEFAULT_EPSILON,
+) -> Union[DenseBackend, CSRBackend]:
+    """The backend matching ``problem``'s storage format.
+
+    The input's format — not the caller's class choice — picks the
+    computation backend: a :class:`~repro.data.DenseProblem` gets
+    :class:`DenseBackend`, a :class:`~repro.data.CsrProblem` gets
+    :class:`CSRBackend`.  Anything else is rejected the same way
+    :func:`repro.data.coerce_problem` rejects it.
+    """
+    from repro.data.coerce import _is_problem
+    from repro.data.protocol import FORMAT_CSR
+
+    if not _is_problem(problem):
+        raise ValidationError(
+            "expected a sensing problem (DenseProblem or CsrProblem), got "
+            f"{type(problem).__name__}"
+        )
+    if problem.format == FORMAT_CSR:
+        return CSRBackend(problem, smoothing=smoothing, epsilon=epsilon)  # type: ignore[arg-type]
+    return DenseBackend(problem, smoothing=smoothing, epsilon=epsilon)  # type: ignore[arg-type]
+
+
+__all__ = ["CSRBackend", "DenseBackend", "MaskedDenseBackend", "make_backend"]

@@ -41,7 +41,16 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -148,7 +157,7 @@ class EMDriver:
         strict: bool = False,
         max_wall_seconds: Optional[float] = None,
         parallel: Optional["ParallelConfig"] = None,
-    ):
+    ) -> None:
         if max_wall_seconds is not None and max_wall_seconds <= 0:
             raise ValidationError(
                 f"max_wall_seconds must be positive, got {max_wall_seconds}"
@@ -164,7 +173,7 @@ class EMDriver:
     @classmethod
     def from_config(
         cls,
-        config,
+        config: Any,
         callbacks: Sequence[IterationCallback] = (),
         parallel: Optional["ParallelConfig"] = None,
     ) -> "EMDriver":
@@ -180,7 +189,7 @@ class EMDriver:
         )
 
     def run(
-        self, backend, params, *, deadline: Optional[float] = None
+        self, backend: Any, params: Any, *, deadline: Optional[float] = None
     ) -> DriverOutcome:
         """One EM run from ``params`` to a fixed point (or the iteration cap).
 
@@ -236,7 +245,7 @@ class EMDriver:
 
     def fit(
         self,
-        backend,
+        backend: Any,
         initialiser: Callable[[int, np.random.Generator], object],
         seed: SeedLike = None,
     ) -> DriverOutcome:
@@ -352,7 +361,12 @@ class EMDriver:
     # -- restart execution strategies -------------------------------------------
 
     def _serial_candidates(
-        self, backend, initialiser, rng, deadline, health: RunHealth
+        self,
+        backend: Any,
+        initialiser: Callable[[int, np.random.Generator], object],
+        rng: RandomState,
+        deadline: Optional[float],
+        health: RunHealth,
     ) -> Iterator[Tuple[int, Optional[DriverOutcome], Optional[str]]]:
         """The historical in-process restart loop."""
         for index, restart_rng in enumerate(spawn_rngs(rng, self.n_restarts)):
@@ -368,7 +382,10 @@ class EMDriver:
             yield index, candidate, None
 
     def _parallel_candidates(
-        self, backend, initialiser, rng
+        self,
+        backend: Any,
+        initialiser: Callable[[int, np.random.Generator], object],
+        rng: RandomState,
     ) -> Iterator[Tuple[int, Optional[DriverOutcome], Optional[str]]]:
         """Fan restarts out across worker processes.
 
@@ -407,7 +424,9 @@ class EMDriver:
             yield index, candidate, error
 
 
-def _restart_worker(payload):
+def _restart_worker(
+    payload: Tuple[Any, Any, int, float],
+) -> Tuple[Optional[DriverOutcome], Optional[str], List[IterationEvent]]:
     """Run one restart's EM loop in a worker process (pool entry point).
 
     Returns ``(outcome, error_message, events)`` — exceptions are

@@ -24,13 +24,15 @@ share one implementation.
 
 from __future__ import annotations
 
+from typing import Any, Tuple
+
 import numpy as np
 
 from repro.core.model import SourceParameters
 from repro.engine.statistics import stable_posterior
 
 
-def support_posterior(backend) -> np.ndarray:
+def support_posterior(backend: Any) -> np.ndarray:
     """Dependency-discounted vote posterior.
 
     Grows affinely with independent support,
@@ -47,18 +49,18 @@ def support_posterior(backend) -> np.ndarray:
     return np.full(backend.n_assertions, 0.5)
 
 
-def support_initialisation(backend):
+def support_initialisation(backend: Any) -> Any:
     """Support posterior → one M-step from the neutral parameter set."""
     return backend.m_step(support_posterior(backend), backend.neutral())
 
 
 def staged_stage_one(
-    backend,
+    backend: Any,
     posterior: np.ndarray,
     *,
     tolerance: float,
     stage_iterations: int = 40,
-):
+) -> Tuple[np.ndarray, SourceParameters]:
     """Fit the independence model over unmasked (independent) cells.
 
     A compact masked EM warm-started from ``posterior``; returns the
@@ -101,7 +103,7 @@ def staged_stage_one(
 
 
 def staged_initialisation(
-    backend,
+    backend: Any,
     *,
     tolerance: float,
     stage_iterations: int = 40,

@@ -46,6 +46,8 @@ import numpy as np
 from repro.baselines import ALGORITHM_REGISTRY, make_fact_finder
 from repro.bounds import GibbsConfig, MAX_EXACT_SOURCES, exact_bound, gibbs_bound
 from repro.core.em_ext import EMConfig
+from repro.data.coerce import coerce_problem
+from repro.data.protocol import FORMATS, FORMAT_DENSE
 from repro.engine.driver import TelemetryRecorder
 from repro.eval.metrics import ClassificationMetrics, score_result
 from repro.parallel import ParallelConfig, parallel_imap, replay_events
@@ -142,6 +144,7 @@ class SimulationResult:
 
 def _optimal_metrics(problem, bound_config, exact_limit, seed) -> ClassificationMetrics:
     """The bound's accuracy ceiling expressed as pseudo-metrics."""
+    problem = coerce_problem(problem, needs=FORMAT_DENSE)
     params = empirical_parameters(problem).clamp(1e-4)
     dependency = problem.dependency.values
     if problem.n_sources <= exact_limit:
@@ -169,7 +172,7 @@ class _TrialTask:
     """One trial's parent-derived inputs (picklable worker payload)."""
 
     trial: int
-    problem: object  # SensingProblem with truth labels
+    problem: object  # sensing problem (either storage format) with truth
     trial_seed: int
     optimal_seed: Optional[int]
 
@@ -269,6 +272,7 @@ def run_simulation(
     checkpoint_path: Optional[str] = None,
     checkpoint_interval: int = 1,
     parallel: Optional[ParallelConfig] = None,
+    problem_format: str = FORMAT_DENSE,
 ) -> SimulationResult:
     """Run the Section V-B experiment loop at one parameter point.
 
@@ -297,9 +301,19 @@ def run_simulation(
     per-trial fits out across worker processes; results are bit-for-bit
     identical for any ``n_jobs`` (see the module docstring for the
     determinism contract) and compose with every option above.
+
+    ``problem_format`` selects the storage format the generated
+    problems are handed to the algorithms in (``"dense"`` — the
+    historical default — or ``"csr"``); every registered algorithm
+    coerces its input as needed, so this exercises the sparse path
+    end-to-end without changing the experiment's statistics.
     """
     if n_trials <= 0:
         raise ValidationError(f"n_trials must be positive, got {n_trials}")
+    if problem_format not in FORMATS:
+        raise ValidationError(
+            f"problem_format must be one of {FORMATS}, got {problem_format!r}"
+        )
     if checkpoint_interval <= 0:
         raise ValidationError(
             f"checkpoint_interval must be positive, got {checkpoint_interval}"
@@ -328,6 +342,7 @@ def run_simulation(
             n_trials=n_trials,
             seed=int(seed),
             include_optimal=include_optimal,
+            problem_format=problem_format,
         )
         if os.path.exists(checkpoint_path):
             state = load_checkpoint(checkpoint_path, fingerprint)
@@ -359,10 +374,13 @@ def run_simulation(
     tasks: List[_TrialTask] = []
     for trial in range(start_trial, n_trials):
         dataset = generator.generate()
+        problem = dataset.problem
+        if problem_format != FORMAT_DENSE:
+            problem = problem.csr_view()
         tasks.append(
             _TrialTask(
                 trial=trial,
-                problem=dataset.problem,
+                problem=problem,
                 trial_seed=derive_seed(rng),
                 optimal_seed=derive_seed(rng) if include_optimal else None,
             )

@@ -24,8 +24,9 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.matrix import SensingProblem
 from repro.core.model import DEFAULT_EPSILON, SourceParameters
+from repro.data.coerce import coerce_problem
+from repro.data.protocol import FORMAT_DENSE, Problem
 from repro.core.result import EstimationResult
 from repro.engine.backends import DenseBackend
 from repro.engine.initialisation import support_posterior
@@ -87,7 +88,7 @@ class StreamingEMExt:
         self.n_batches = 0
         self._seed = seed
 
-    def _validate_batch(self, batch: SensingProblem) -> None:
+    def _validate_batch(self, batch: "Problem") -> None:
         """Reject batches that would corrupt the accumulated statistics."""
         if batch.n_sources != self.n_sources:
             raise ValidationError(
@@ -101,8 +102,11 @@ class StreamingEMExt:
         if not np.all(np.isfinite(batch.dependency.values)):
             raise DataError("batch dependency matrix contains non-finite values")
 
-    def partial_fit(self, batch: SensingProblem) -> EstimationResult:
+    def partial_fit(self, batch: "Problem") -> EstimationResult:
         """Absorb one claim batch and return its truth estimates.
+
+        Batches may arrive in either storage format; CSR batches are
+        densified under the memory budget before the update.
 
         The batch's posterior is refined with a few inner EM iterations
         (E-step on the batch, M-step on the decayed global statistics),
@@ -114,6 +118,7 @@ class StreamingEMExt:
         the update and rolled back on any exception, so one poisoned
         window cannot corrupt the accumulated state.
         """
+        batch = coerce_problem(batch, needs=FORMAT_DENSE)
         self._validate_batch(batch)
         stats_snapshot = self._stats.copy()
         parameters_snapshot = self.parameters

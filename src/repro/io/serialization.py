@@ -21,8 +21,10 @@ from typing import Iterable, List, Union
 
 import numpy as np
 
-from repro.core.matrix import DependencyMatrix, SensingProblem, SourceClaimMatrix
 from repro.core.model import SourceParameters
+from repro.data.coerce import coerce_problem
+from repro.data.dense import DependencyMatrix, SensingProblem, SourceClaimMatrix
+from repro.data.protocol import FORMAT_DENSE, Problem
 from repro.core.result import EstimationResult, FactFindingResult
 from repro.datasets.schema import Tweet
 from repro.utils.errors import DataError
@@ -56,14 +58,20 @@ def _read_json(path: PathLike) -> dict:
 # SensingProblem
 # ---------------------------------------------------------------------------
 
-def save_problem(problem: SensingProblem, path: PathLike) -> None:
-    """Write a sensing problem (claims, dependencies, optional truth)."""
+def save_problem(problem: Problem, path: PathLike) -> None:
+    """Write a sensing problem (claims, dependencies, optional truth).
+
+    Accepts either storage format; CSR input is densified under the
+    memory budget (JSON is a dense interchange format — use
+    :func:`repro.io.sparse_io.save_sparse_problem` for large problems).
+    """
+    problem = coerce_problem(problem, needs=FORMAT_DENSE)
     payload = {
         "kind": "sensing_problem",
         "claims": problem.claims.values.tolist(),
         "dependency": problem.dependency.values.tolist(),
-        "source_ids": problem.claims.source_ids,
-        "assertion_ids": problem.claims.assertion_ids,
+        "source_ids": list(problem.source_ids),
+        "assertion_ids": list(problem.assertion_ids),
         "truth": problem.truth.tolist() if problem.has_truth else None,
     }
     _write_json(path, payload)

@@ -17,11 +17,12 @@ Two ancestry policies:
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.matrix import DependencyMatrix, SensingProblem, SourceClaimMatrix
+from repro.data.dense import DenseProblem, DependencyMatrix, SourceClaimMatrix
+from repro.data.protocol import FORMAT_DENSE, Problem
 from repro.network.events import EventLog
 from repro.network.graph import FollowGraph
 from repro.utils.errors import ValidationError
@@ -36,6 +37,8 @@ def extract_dependency(
     *,
     n_assertions: int,
     policy: str = "direct",
+    source_ids: Optional[Sequence[str]] = None,
+    assertion_ids: Optional[Sequence[str]] = None,
 ) -> Tuple[SourceClaimMatrix, DependencyMatrix]:
     """Build ``(SC, D)`` from an event log and a follow graph.
 
@@ -78,7 +81,9 @@ def extract_dependency(
             earliest_ancestor[silent]
         ).astype(np.int8)
     return (
-        SourceClaimMatrix(claims),
+        SourceClaimMatrix(
+            claims, source_ids=source_ids, assertion_ids=assertion_ids
+        ),
         DependencyMatrix(dependency),
     )
 
@@ -90,20 +95,40 @@ def build_problem(
     n_assertions: int,
     policy: str = "direct",
     truth: np.ndarray = None,
-) -> SensingProblem:
+    source_ids: Optional[Sequence[str]] = None,
+    assertion_ids: Optional[Sequence[str]] = None,
+) -> DenseProblem:
     """Convenience wrapper: extract matrices and wrap them in a problem."""
     claims, dependency = extract_dependency(
-        log, graph, n_assertions=n_assertions, policy=policy
+        log,
+        graph,
+        n_assertions=n_assertions,
+        policy=policy,
+        source_ids=source_ids,
+        assertion_ids=assertion_ids,
     )
-    return SensingProblem(claims=claims, dependency=dependency, truth=truth)
+    return DenseProblem(claims=claims, dependency=dependency, truth=truth)
 
 
-def dependency_summary(problem: SensingProblem) -> dict:
-    """Descriptive statistics of the dependency structure of a problem."""
-    sc = problem.claims.values
-    dep = problem.dependency.values
-    n_claims = int(sc.sum())
-    n_dependent_claims = int((sc & dep).sum())
+def dependency_summary(problem: Problem) -> dict:
+    """Descriptive statistics of the dependency structure of a problem.
+
+    Accepts either storage format; the counting is done on whichever
+    representation the problem already holds (no densification).
+    """
+    if problem.format == FORMAT_DENSE:
+        sc = problem.claims.values
+        dep = problem.dependency.values
+        n_claims = int(sc.sum())
+        n_dependent_claims = int((sc & dep).sum())
+        dependent_cell_fraction = problem.dependency.dependent_fraction
+    else:
+        sc = problem.claims
+        dep = problem.dependency
+        n_claims = int(sc.nnz)
+        n_dependent_claims = int(sc.multiply(dep).nnz)
+        n_cells = problem.n_sources * problem.n_assertions
+        dependent_cell_fraction = float(dep.nnz / n_cells) if n_cells else 0.0
     return {
         "n_sources": problem.n_sources,
         "n_assertions": problem.n_assertions,
@@ -111,7 +136,7 @@ def dependency_summary(problem: SensingProblem) -> dict:
         "n_original_claims": n_claims - n_dependent_claims,
         "n_dependent_claims": n_dependent_claims,
         "dependent_claim_fraction": problem.dependent_claim_fraction(),
-        "dependent_cell_fraction": problem.dependency.dependent_fraction,
+        "dependent_cell_fraction": dependent_cell_fraction,
     }
 
 

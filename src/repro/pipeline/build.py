@@ -13,20 +13,22 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Tuple
 
-from repro.core.matrix import SensingProblem
+from repro.data.dense import DenseProblem
+from repro.data.protocol import FORMATS, FORMAT_DENSE, Problem
 from repro.network.dependency import extract_dependency
 from repro.network.events import EventLog, Post
 from repro.network.graph import FollowGraph
 from repro.pipeline.cluster import ClusterResult
 from repro.pipeline.ingest import IngestResult
 from repro.utils.errors import ValidationError
+from repro.utils.validation import check_in_choices
 
 
 @dataclass
 class BuiltProblem:
     """A sensing problem plus the id maps back to raw data."""
 
-    problem: SensingProblem
+    problem: Problem
     user_ids: List[int]
     representatives: List[str]
     log: EventLog
@@ -53,13 +55,19 @@ def build_problem_from_clusters(
     *,
     follow_edges: Optional[Iterable[Tuple[int, int]]] = None,
     policy: str = "direct",
+    output_format: str = FORMAT_DENSE,
 ) -> BuiltProblem:
     """Assemble the sensing problem from pipeline stage outputs.
 
     ``follow_edges`` uses *compact user indices* (see
     :meth:`IngestResult.user_index`); when omitted, edges are inferred
-    from retweet behaviour alone.
+    from retweet behaviour alone.  ``output_format`` selects the
+    storage format of the built problem (``"dense"`` — the historical
+    default — or ``"csr"`` for crawl-scale corpora).  The raw user ids
+    are attached as ``source_ids`` (``u{id}``), so they survive format
+    conversions and serialisation.
     """
+    check_in_choices(output_format, "output_format", FORMATS)
     if len(clusters.assignments) != len(ingest.tweets):
         raise ValidationError(
             f"cluster assignments ({len(clusters.assignments)}) do not match "
@@ -89,10 +97,17 @@ def build_problem_from_clusters(
         if follower != followee and not graph.follows(follower, followee):
             graph.add_follow(follower, followee)
     claims, dependency = extract_dependency(
-        log, graph, n_assertions=clusters.n_clusters, policy=policy
+        log,
+        graph,
+        n_assertions=clusters.n_clusters,
+        policy=policy,
+        source_ids=[f"u{user_id}" for user_id in ingest.user_ids],
     )
+    problem: Problem = DenseProblem(claims=claims, dependency=dependency)
+    if output_format != FORMAT_DENSE:
+        problem = problem.csr_view()
     return BuiltProblem(
-        problem=SensingProblem(claims=claims, dependency=dependency),
+        problem=problem,
         user_ids=ingest.user_ids,
         representatives=clusters.representatives,
         log=log,

@@ -54,17 +54,24 @@ def simulation_fingerprint(
     n_trials: int,
     seed: int,
     include_optimal: bool,
+    problem_format: str = "dense",
 ) -> dict:
-    """Identity of one experiment point, for checkpoint compatibility."""
-    return _canonical(
-        {
-            "config": dataclasses.asdict(config),
-            "algorithms": list(algorithms),
-            "n_trials": int(n_trials),
-            "seed": int(seed),
-            "include_optimal": bool(include_optimal),
-        }
-    )
+    """Identity of one experiment point, for checkpoint compatibility.
+
+    ``problem_format`` participates only when it differs from the
+    historical dense default, so checkpoints written before the
+    format-polymorphic data layer keep resuming.
+    """
+    fingerprint = {
+        "config": dataclasses.asdict(config),
+        "algorithms": list(algorithms),
+        "n_trials": int(n_trials),
+        "seed": int(seed),
+        "include_optimal": bool(include_optimal),
+    }
+    if problem_format != "dense":
+        fingerprint["problem_format"] = str(problem_format)
+    return _canonical(fingerprint)
 
 
 @dataclass

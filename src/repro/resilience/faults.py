@@ -33,7 +33,9 @@ from typing import Iterable, List, Sequence
 
 import numpy as np
 
-from repro.core.matrix import SensingProblem, SourceClaimMatrix
+from repro.data.coerce import coerce_problem
+from repro.data.dense import DenseProblem, SourceClaimMatrix
+from repro.data.protocol import FORMAT_DENSE, Problem
 from repro.utils.errors import ReproError, ValidationError
 from repro.utils.rng import RandomState, SeedLike
 
@@ -47,7 +49,16 @@ class InjectedFault(ReproError):
 # ---------------------------------------------------------------------------
 
 class FaultInjector:
-    """Seeded corruption of sensing problems and tweet streams."""
+    """Seeded corruption of sensing problems and tweet streams.
+
+    The structured injectors (:meth:`flip_claims`,
+    :meth:`byzantine_sources`) accept a problem in either storage
+    format and hand back the same format they were given; corruption is
+    applied on a dense view (budget-guarded).  The NaN-poisoning
+    injectors only accept dense problems — NaN is not representable in
+    the int8 CSR storage, so poisoning a CSR problem would silently
+    change its format, and they raise instead.
+    """
 
     def __init__(self, seed: SeedLike = None):
         self.rng = RandomState(seed)
@@ -63,28 +74,44 @@ class FaultInjector:
             mask.flat[flat] = True
         return mask
 
-    def _rewrap(self, problem: SensingProblem, claims_values) -> SensingProblem:
+    def _rewrap(
+        self, problem: DenseProblem, claims_values, original: Problem
+    ) -> Problem:
         claims = SourceClaimMatrix(
             np.asarray(claims_values, dtype=np.int8),
             source_ids=problem.claims.source_ids,
             assertion_ids=problem.claims.assertion_ids,
         )
-        return SensingProblem(
+        corrupted = DenseProblem(
             claims=claims, dependency=problem.dependency, truth=problem.truth
         )
+        if original.format != FORMAT_DENSE:
+            return corrupted.csr_view()
+        return corrupted
+
+    @staticmethod
+    def _require_dense(problem: Problem, injector: str) -> DenseProblem:
+        if getattr(problem, "format", None) != FORMAT_DENSE:
+            raise ValidationError(
+                f"{injector} requires a dense problem: NaN is not "
+                "representable in int8 CSR storage (densify explicitly "
+                "with problem.dense_view() first)"
+            )
+        return problem
 
     # -- structured (still-valid) corruption ------------------------------------
 
-    def flip_claims(self, problem: SensingProblem, rate: float = 0.05) -> SensingProblem:
+    def flip_claims(self, problem: Problem, rate: float = 0.05) -> Problem:
         """Flip a random ``rate`` fraction of SC cells (claim ↔ non-claim)."""
-        values = problem.claims.values.copy()
+        dense = coerce_problem(problem, needs=FORMAT_DENSE)
+        values = dense.claims.values.copy()
         mask = self._cell_mask(values.shape, rate)
         values[mask] = 1 - values[mask]
-        return self._rewrap(problem, values)
+        return self._rewrap(dense, values, problem)
 
     def byzantine_sources(
-        self, problem: SensingProblem, fraction: float = 0.1
-    ) -> SensingProblem:
+        self, problem: Problem, fraction: float = 0.1
+    ) -> Problem:
         """Invert entire source rows: chosen sources claim exactly what they didn't.
 
         The classic byzantine-sensor model — the corrupted sources are
@@ -92,22 +119,24 @@ class FaultInjector:
         """
         if not 0.0 < fraction <= 1.0:
             raise ValidationError(f"fraction must be in (0, 1], got {fraction}")
-        n_sources = problem.n_sources
+        dense = coerce_problem(problem, needs=FORMAT_DENSE)
+        n_sources = dense.n_sources
         n_bad = max(1, int(round(fraction * n_sources)))
         rows = self.rng.choice(n_sources, size=min(n_bad, n_sources), replace=False)
-        values = problem.claims.values.copy()
+        values = dense.claims.values.copy()
         values[rows] = 1 - values[rows]
-        return self._rewrap(problem, values)
+        return self._rewrap(dense, values, problem)
 
     # -- validation-bypassing corruption ----------------------------------------
 
-    def poison_claims(self, problem: SensingProblem, rate: float = 0.05) -> SensingProblem:
+    def poison_claims(self, problem: Problem, rate: float = 0.05) -> DenseProblem:
         """NaN-poison a fraction of SC cells, *bypassing* input validation.
 
         Models corruption that slipped past the ingestion boundary
         (e.g. a partial write).  Consumers with run-health guards must
         detect the non-finite values, not average over them.
         """
+        problem = self._require_dense(problem, "poison_claims")
         poisoned = problem.claims.values.astype(np.float64)
         poisoned[self._cell_mask(poisoned.shape, rate)] = np.nan
         claims = SourceClaimMatrix(
@@ -116,19 +145,20 @@ class FaultInjector:
             assertion_ids=problem.claims.assertion_ids,
         )
         claims._matrix = poisoned  # deliberate bypass of the binary check
-        return SensingProblem(
+        return DenseProblem(
             claims=claims, dependency=problem.dependency, truth=problem.truth
         )
 
     def poison_dependency(
-        self, problem: SensingProblem, rate: float = 0.05
-    ) -> SensingProblem:
+        self, problem: Problem, rate: float = 0.05
+    ) -> DenseProblem:
         """NaN-poison a fraction of D cells, bypassing input validation."""
+        problem = self._require_dense(problem, "poison_dependency")
         poisoned = problem.dependency.values.astype(np.float64)
         poisoned[self._cell_mask(poisoned.shape, rate)] = np.nan
         dependency = type(problem.dependency)(problem.dependency.values)
         dependency._matrix = poisoned  # deliberate bypass
-        return SensingProblem(
+        return DenseProblem(
             claims=problem.claims, dependency=dependency, truth=problem.truth
         )
 

@@ -2,6 +2,11 @@
 
 from repro.sparse.em import SparseEMExt
 from repro.sparse.extract import extract_dependency_sparse
-from repro.sparse.problem import SparseSensingProblem
+from repro.sparse.problem import CsrProblem, SparseSensingProblem
 
-__all__ = ["SparseEMExt", "SparseSensingProblem", "extract_dependency_sparse"]
+__all__ = [
+    "CsrProblem",
+    "SparseEMExt",
+    "SparseSensingProblem",
+    "extract_dependency_sparse",
+]

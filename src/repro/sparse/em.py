@@ -16,10 +16,11 @@ from typing import Optional, Sequence
 
 from repro.core.em_ext import EMConfig
 from repro.core.result import EstimationResult
+from repro.data.coerce import coerce_problem
+from repro.data.protocol import FORMAT_CSR, Problem
 from repro.engine.backends import CSRBackend
 from repro.engine.driver import EMDriver, IterationCallback
 from repro.engine.initialisation import staged_initialisation, support_initialisation
-from repro.sparse.problem import SparseSensingProblem
 from repro.utils.errors import ValidationError
 
 
@@ -34,6 +35,9 @@ class SparseEMExt:
 
     algorithm_name = "em-ext-sparse"
 
+    #: Storage formats the numerics run on (data-layer declaration).
+    accepts = (FORMAT_CSR,)
+
     def __init__(
         self,
         config: Optional[EMConfig] = None,
@@ -47,8 +51,14 @@ class SparseEMExt:
                 "SparseEMExt supports init_strategy 'staged' or 'support' only"
             )
 
-    def fit(self, problem: SparseSensingProblem) -> EstimationResult:
-        """Run EM and return the standard estimation result."""
+    def fit(self, problem: Problem) -> EstimationResult:
+        """Run EM and return the standard estimation result.
+
+        Dense input is converted to CSR first (always cheap — the CSR
+        form is never larger than the dense one), so the sparse
+        estimator is usable on any problem the data layer knows.
+        """
+        problem = coerce_problem(problem, needs=FORMAT_CSR)
         backend = CSRBackend(
             problem,
             smoothing=self.config.smoothing,

@@ -17,11 +17,13 @@ assertion at all.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
+from repro.data.csr import CsrProblem
 from repro.network.events import EventLog
 from repro.network.graph import FollowGraph
-from repro.sparse.problem import SparseSensingProblem
 from repro.utils.errors import ValidationError
 from repro.utils.validation import check_in_choices
 
@@ -35,8 +37,15 @@ def extract_dependency_sparse(
     n_assertions: int,
     policy: str = "direct",
     truth=None,
-) -> SparseSensingProblem:
-    """Build a :class:`SparseSensingProblem` from an event stream."""
+    source_ids: Optional[Sequence[str]] = None,
+    assertion_ids: Optional[Sequence[str]] = None,
+) -> CsrProblem:
+    """Build a :class:`~repro.data.csr.CsrProblem` from an event stream.
+
+    ``source_ids`` / ``assertion_ids`` attach the original identifiers
+    (user names, assertion keys) so they survive format conversions and
+    serialisation; omitted axes get the ``S{i}``/``C{j}`` defaults.
+    """
     check_in_choices(policy, "policy", _POLICIES)
     from scipy import sparse
 
@@ -124,12 +133,20 @@ def extract_dependency_sparse(
 
     shape = (n_sources, n_assertions)
     claims = sparse.csr_matrix(
-        ([1.0] * len(claim_rows), (claim_rows, claim_cols)), shape=shape
+        (np.ones(len(claim_rows), dtype=np.int8), (claim_rows, claim_cols)),
+        shape=shape,
     )
     dependency = sparse.csr_matrix(
-        ([1.0] * len(dep_rows), (dep_rows, dep_cols)), shape=shape
+        (np.ones(len(dep_rows), dtype=np.int8), (dep_rows, dep_cols)),
+        shape=shape,
     )
-    return SparseSensingProblem(claims=claims, dependency=dependency, truth=truth)
+    return CsrProblem(
+        claims=claims,
+        dependency=dependency,
+        truth=truth,
+        source_ids=list(source_ids) if source_ids is not None else None,
+        assertion_ids=list(assertion_ids) if assertion_ids is not None else None,
+    )
 
 
 __all__ = ["extract_dependency_sparse"]

@@ -1,125 +1,15 @@
-"""Sparse sensing problems for full-scale field data.
+"""Sparse sensing-problem container (compatibility adapter).
 
-A dense ``(n, m)`` cell matrix for the paper's Paris Attack crawl
-(38 844 × 23 513) needs ~7 GB; the actual content is ~41k claims and a
-few hundred thousand dependent cells.  This module stores both matrices
-as CSR and feeds the sparse EM (:mod:`repro.sparse.em`).
-
-scipy is an optional dependency, imported lazily with a clear error.
+The CSR container now lives in the format-polymorphic data layer
+(:mod:`repro.data.csr`); this module re-exports it under its
+historical import path.  ``SparseSensingProblem`` is
+:class:`repro.data.CsrProblem` — same validation, plus the id
+metadata and the budget-guarded :meth:`~repro.data.csr.CsrProblem.dense_view`
+that the old container lacked.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from repro.data.csr import CsrProblem, SparseSensingProblem
 
-import numpy as np
-
-from repro.core.matrix import SensingProblem
-from repro.utils.errors import ValidationError
-
-
-def _sparse_module():
-    try:
-        from scipy import sparse
-    except ImportError as error:  # pragma: no cover - environment-specific
-        raise ImportError(
-            "sparse problems require scipy; install repro[sparse]"
-        ) from error
-    return sparse
-
-
-@dataclass
-class SparseSensingProblem:
-    """CSR-backed counterpart of :class:`SensingProblem`.
-
-    ``claims`` and ``dependency`` are ``scipy.sparse.csr_matrix`` with
-    0/1 entries and identical shape; ``truth`` is optional per-assertion
-    labels, exactly as in the dense container.
-    """
-
-    claims: "object"
-    dependency: "object"
-    truth: Optional[np.ndarray] = None
-
-    def __post_init__(self) -> None:
-        sparse = _sparse_module()
-        self.claims = sparse.csr_matrix(self.claims, dtype=np.float64)
-        self.dependency = sparse.csr_matrix(self.dependency, dtype=np.float64)
-        if self.claims.shape != self.dependency.shape:
-            raise ValidationError(
-                f"claims {self.claims.shape} and dependency "
-                f"{self.dependency.shape} must share a shape"
-            )
-        for name, matrix in (("claims", self.claims), ("dependency", self.dependency)):
-            if matrix.nnz and not np.isin(matrix.data, (0.0, 1.0)).all():
-                raise ValidationError(f"{name} must contain only 0/1 entries")
-        self.claims.eliminate_zeros()
-        self.dependency.eliminate_zeros()
-        if self.truth is not None:
-            truth = np.asarray(self.truth)
-            if truth.shape != (self.claims.shape[1],):
-                raise ValidationError(
-                    f"truth must have shape ({self.claims.shape[1]},), "
-                    f"got {truth.shape}"
-                )
-            if truth.size and not np.isin(truth, (0, 1)).all():
-                raise ValidationError("truth must contain only 0/1 labels")
-            self.truth = truth.astype(np.int8)
-
-    @property
-    def n_sources(self) -> int:
-        """Number of sources (rows)."""
-        return self.claims.shape[0]
-
-    @property
-    def n_assertions(self) -> int:
-        """Number of assertions (columns)."""
-        return self.claims.shape[1]
-
-    @property
-    def n_claims(self) -> int:
-        """Total number of claims."""
-        return int(self.claims.nnz)
-
-    @property
-    def has_truth(self) -> bool:
-        """Whether ground-truth labels are attached."""
-        return self.truth is not None
-
-    def without_truth(self) -> "SparseSensingProblem":
-        """A copy without ground truth (what an estimator may see)."""
-        return SparseSensingProblem(claims=self.claims, dependency=self.dependency)
-
-    @classmethod
-    def from_dense(cls, problem: SensingProblem) -> "SparseSensingProblem":
-        """Convert a dense problem (mostly for tests and small data)."""
-        return cls(
-            claims=problem.claims.values,
-            dependency=problem.dependency.values,
-            truth=problem.truth,
-        )
-
-    def to_dense(self) -> SensingProblem:
-        """Materialise as a dense problem (refuse absurd sizes)."""
-        cells = self.n_sources * self.n_assertions
-        if cells > 50_000_000:
-            raise ValidationError(
-                f"refusing to densify {self.n_sources} x {self.n_assertions} "
-                "cells; use the sparse estimator instead"
-            )
-        return SensingProblem(
-            claims=np.asarray(self.claims.todense(), dtype=np.int8),
-            dependency=np.asarray(self.dependency.todense(), dtype=np.int8),
-            truth=self.truth,
-        )
-
-    def dependent_claim_fraction(self) -> float:
-        """Fraction of claims that are dependent."""
-        if self.claims.nnz == 0:
-            return 0.0
-        overlap = self.claims.multiply(self.dependency)
-        return float(overlap.nnz / self.claims.nnz)
-
-
-__all__ = ["SparseSensingProblem"]
+__all__ = ["CsrProblem", "SparseSensingProblem"]

@@ -17,8 +17,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.matrix import SensingProblem
 from repro.core.model import SourceParameters
+from repro.data.coerce import coerce_problem
+from repro.data.protocol import FORMAT_DENSE, Problem
 from repro.synthetic.config import GeneratorConfig
 from repro.utils.errors import ValidationError
 
@@ -26,10 +27,15 @@ from repro.utils.errors import ValidationError
 _UNOBSERVED = 0.5
 
 
-def empirical_parameters(problem: SensingProblem) -> SourceParameters:
-    """Measure θ from a problem with ground truth (the oracle's view)."""
+def empirical_parameters(problem: Problem) -> SourceParameters:
+    """Measure θ from a problem with ground truth (the oracle's view).
+
+    Accepts a problem in either storage format; CSR input is densified
+    under the memory budget.
+    """
     if not problem.has_truth:
         raise ValidationError("empirical_parameters requires ground-truth labels")
+    problem = coerce_problem(problem, needs=FORMAT_DENSE)
     sc = problem.claims.values.astype(np.float64)
     dep = problem.dependency.values.astype(np.float64)
     indep = 1.0 - dep

@@ -23,6 +23,22 @@ class DataError(ReproError):
     """A dataset or event stream is malformed or internally inconsistent."""
 
 
+class MemoryBudgetError(ReproError, MemoryError):
+    """A requested densification would exceed the configured memory budget.
+
+    Raised by :meth:`repro.data.CsrProblem.dense_view` (and everything
+    routed through :func:`repro.data.coerce_problem`) *before* any large
+    allocation happens, instead of silently materialising multi-GB
+    matrices.  Inherits from :class:`MemoryError` so generic callers
+    treating memory exhaustion specially keep working.
+    """
+
+    def __init__(self, message: str, *, required_bytes: int = 0, budget_bytes: int = 0):
+        super().__init__(message)
+        self.required_bytes = required_bytes
+        self.budget_bytes = budget_bytes
+
+
 class ConvergenceError(ReproError):
     """An iterative algorithm failed to converge within its budget."""
 

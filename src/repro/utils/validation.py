@@ -8,7 +8,7 @@ estimates.
 
 from __future__ import annotations
 
-from typing import Iterable, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -78,6 +78,30 @@ def check_nonnegative_int(value: int, name: str) -> int:
     return int(value)
 
 
+def check_id_list(
+    ids: Optional[Sequence[str]],
+    expected: int,
+    name: str,
+    *,
+    prefix: str,
+) -> List[str]:
+    """Validate (or default) an identifier list for one matrix axis.
+
+    ``None`` produces the canonical synthetic ids ``f"{prefix}{k}"``;
+    explicit ids must match the axis length and be unique.
+    """
+    if ids is None:
+        return [f"{prefix}{k}" for k in range(expected)]
+    id_list = list(ids)
+    if len(id_list) != expected:
+        raise ValidationError(
+            f"{name} has {len(id_list)} entries but the matrix implies {expected}"
+        )
+    if len(set(id_list)) != len(id_list):
+        raise ValidationError(f"{name} contains duplicates")
+    return id_list
+
+
 def check_in_choices(value: str, name: str, choices: Iterable[str]) -> str:
     """Validate a string option against a closed set of choices."""
     options = tuple(choices)
@@ -88,6 +112,7 @@ def check_in_choices(value: str, name: str, choices: Iterable[str]) -> str:
 
 __all__ = [
     "check_binary_matrix",
+    "check_id_list",
     "check_in_choices",
     "check_nonnegative_int",
     "check_positive_int",

@@ -1,0 +1,175 @@
+"""Acceptance wall: every consumer in the library accepts a CsrProblem.
+
+The tentpole contract of the data layer — estimators, bounds, the
+harness, fault injection, streaming, and the oracle all take a problem
+in either storage format and produce results identical to the dense
+path (coercion is lossless and the CSR backend casts to float64 at the
+BLAS boundary).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ALGORITHM_REGISTRY, make_fact_finder
+from repro.bounds import GibbsConfig, exact_bound, gibbs_bound
+from repro.bounds.analytic import bhattacharyya_bounds
+from repro.bounds.cramer_rao import parameter_confidence
+from repro.data import FORMAT_CSR, coerce_problem
+from repro.eval import run_simulation
+from repro.extensions import StreamingEMExt
+from repro.network.dependency import dependency_summary
+from repro.resilience import FaultInjector
+from repro.resilience.checkpoint import simulation_fingerprint
+from repro.synthetic import GeneratorConfig, empirical_parameters, generate_dataset
+from repro.utils.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_dataset(GeneratorConfig(n_sources=8, n_assertions=24, n_trees=(3, 4)), seed=11)
+
+
+@pytest.fixture(scope="module")
+def dense_problem(dataset):
+    return dataset.problem
+
+
+@pytest.fixture(scope="module")
+def csr_problem(dense_problem):
+    return dense_problem.csr_view()
+
+
+class TestEstimators:
+    @pytest.mark.parametrize("name", sorted(ALGORITHM_REGISTRY))
+    def test_every_registered_algorithm_accepts_csr(
+        self, name, dense_problem, csr_problem
+    ):
+        def _fit(problem):
+            kwargs = {"seed": 0} if name in ("em", "em-ext", "em-social", "em-pooled") else {}
+            return make_fact_finder(name, **kwargs).fit(problem.without_truth())
+
+        dense_result = _fit(dense_problem)
+        csr_result = _fit(csr_problem)
+        np.testing.assert_array_equal(csr_result.decisions, dense_result.decisions)
+        # em-ext runs natively on the CSR backend (different summation
+        # order, same 1e-10 wall as tests/sparse); every other
+        # algorithm coerces to dense and must match exactly.
+        atol = 1e-10 if name == "em-ext" else 0.0
+        np.testing.assert_allclose(
+            csr_result.scores, dense_result.scores, rtol=0, atol=atol
+        )
+
+
+class TestBounds:
+    def test_exact_bound_accepts_problem_in_either_format(
+        self, dense_problem, csr_problem
+    ):
+        params = empirical_parameters(dense_problem).clamp(1e-4)
+        dense_bound = exact_bound(dense_problem, params)
+        csr_bound = exact_bound(csr_problem, params)
+        assert csr_bound.total == dense_bound.total
+
+    def test_gibbs_bound_accepts_csr(self, dense_problem, csr_problem):
+        params = empirical_parameters(dense_problem).clamp(1e-4)
+        config = GibbsConfig(min_sweeps=50, max_sweeps=100)
+        dense_bound = gibbs_bound(dense_problem, params, config=config, seed=3)
+        csr_bound = gibbs_bound(csr_problem, params, config=config, seed=3)
+        assert csr_bound.total == dense_bound.total
+
+    def test_bhattacharyya_accepts_csr(self, dense_problem, csr_problem):
+        params = empirical_parameters(dense_problem).clamp(1e-4)
+        assert bhattacharyya_bounds(csr_problem, params) == bhattacharyya_bounds(
+            dense_problem, params
+        )
+
+    def test_parameter_confidence_accepts_csr(self, dense_problem, csr_problem):
+        params = empirical_parameters(dense_problem).clamp(1e-4)
+        posterior = np.full(dense_problem.n_assertions, 0.5)
+        dense_ci = parameter_confidence(dense_problem, params, posterior)
+        csr_ci = parameter_confidence(csr_problem, params, posterior)
+        np.testing.assert_array_equal(
+            csr_ci.standard_errors["a"], dense_ci.standard_errors["a"]
+        )
+
+
+class TestOracleAndSummary:
+    def test_empirical_parameters_accepts_csr(self, dense_problem, csr_problem):
+        dense_params = empirical_parameters(dense_problem)
+        csr_params = empirical_parameters(csr_problem)
+        np.testing.assert_array_equal(csr_params.a, dense_params.a)
+        assert csr_params.z == dense_params.z
+
+    def test_dependency_summary_matches_across_formats(
+        self, dense_problem, csr_problem
+    ):
+        dense_summary = dependency_summary(dense_problem)
+        csr_summary = dependency_summary(csr_problem)
+        assert csr_summary == pytest.approx(dense_summary)
+
+
+class TestHarness:
+    def test_run_simulation_csr_matches_dense(self):
+        config = GeneratorConfig(n_sources=6, n_assertions=16, n_trees=2)
+        kwargs = dict(
+            algorithms=("voting", "em-ext"),
+            n_trials=2,
+            seed=42,
+            include_optimal=True,
+            bound_config=GibbsConfig(min_sweeps=50, max_sweeps=100),
+            exact_limit=10,
+        )
+        dense = run_simulation(config, **kwargs)
+        csr = run_simulation(config, problem_format="csr", **kwargs)
+        for name in dense.series:
+            assert csr.series[name].accuracy == dense.series[name].accuracy
+
+    def test_run_simulation_rejects_unknown_format(self):
+        with pytest.raises(ValidationError, match="problem_format"):
+            run_simulation(GeneratorConfig(), n_trials=1, problem_format="coo")
+
+    def test_fingerprint_stable_for_dense_and_distinct_for_csr(self):
+        config = GeneratorConfig(n_sources=6, n_assertions=16, n_trees=2)
+        kwargs = dict(
+            algorithms=["voting"], n_trials=2, seed=1, include_optimal=False
+        )
+        legacy = simulation_fingerprint(config, **kwargs)
+        dense = simulation_fingerprint(config, problem_format="dense", **kwargs)
+        csr = simulation_fingerprint(config, problem_format="csr", **kwargs)
+        assert dense == legacy  # old checkpoints keep resuming
+        assert csr != legacy
+        assert csr["problem_format"] == "csr"
+
+
+class TestFaultsAndStreaming:
+    def test_fault_injectors_preserve_the_input_format(self, csr_problem):
+        injector = FaultInjector(seed=0)
+        flipped = injector.flip_claims(csr_problem, rate=0.1)
+        assert flipped.format == FORMAT_CSR
+        assert flipped.claims.data.dtype == np.int8
+        byzantine = injector.byzantine_sources(csr_problem, fraction=0.25)
+        assert byzantine.format == FORMAT_CSR
+
+    def test_nan_poisoning_refuses_csr(self, csr_problem):
+        injector = FaultInjector(seed=0)
+        with pytest.raises(ValidationError, match="int8 CSR"):
+            injector.poison_claims(csr_problem)
+        with pytest.raises(ValidationError, match="int8 CSR"):
+            injector.poison_dependency(csr_problem)
+
+    def test_streaming_accepts_csr_batches(self, dense_problem, csr_problem):
+        blind_dense = dense_problem.without_truth()
+        blind_csr = csr_problem.without_truth()
+        dense_result = StreamingEMExt(dense_problem.n_sources, seed=0).partial_fit(
+            blind_dense
+        )
+        csr_result = StreamingEMExt(dense_problem.n_sources, seed=0).partial_fit(
+            blind_csr
+        )
+        np.testing.assert_array_equal(csr_result.decisions, dense_result.decisions)
+
+
+class TestCoercionInConsumers:
+    def test_csr_requesting_consumer_gets_csr_from_dense(self, dense_problem):
+        coerced = coerce_problem(dense_problem, needs=FORMAT_CSR)
+        assert coerced.format == FORMAT_CSR
+        assert coerced.dense_view() == dense_problem

@@ -1,0 +1,85 @@
+"""Satellite: CSR data arrays are int8, cast to float64 only at BLAS.
+
+The historical sparse container stored float64 ones — pure waste, since
+validation guarantees 0/1 content.  These tests pin the int8 contract
+and the ~8x memory saving on a Table-III-sized fixture.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import CsrProblem, DenseProblem
+from repro.engine.backends import CSRBackend, make_backend
+
+TABLE_III_SHAPE = (38_844, 23_513)
+
+
+def _table_iii_matrices(n_claims=41_000, n_dependent=120_000):
+    from scipy import sparse
+
+    n, m = TABLE_III_SHAPE
+    rng = np.random.default_rng(7)
+
+    def _random_csr(count, dtype):
+        rows = rng.integers(0, n, size=count)
+        cols = rng.integers(0, m, size=count)
+        matrix = sparse.csr_matrix(
+            (np.ones(count, dtype=dtype), (rows, cols)), shape=(n, m)
+        )
+        matrix.sum_duplicates()
+        matrix.data[:] = 1
+        return matrix
+
+    return _random_csr(n_claims, np.int8), _random_csr(n_dependent, np.int8)
+
+
+class TestInt8Storage:
+    def test_data_arrays_are_int8(self):
+        claims, dependency = _table_iii_matrices(n_claims=500, n_dependent=800)
+        problem = CsrProblem(claims=claims, dependency=dependency)
+        assert problem.claims.data.dtype == np.int8
+        assert problem.dependency.data.dtype == np.int8
+
+    def test_float64_input_is_compacted_to_int8(self):
+        from scipy import sparse
+
+        claims = sparse.csr_matrix(np.eye(4, dtype=np.float64))
+        problem = CsrProblem(claims=claims, dependency=claims.copy())
+        assert problem.claims.data.dtype == np.int8
+
+    def test_non_binary_data_is_rejected(self):
+        from scipy import sparse
+
+        bad = sparse.csr_matrix(np.array([[2.0, 0.0], [0.0, 1.0]]))
+        from repro.utils.errors import ValidationError
+
+        with pytest.raises(ValidationError, match="0/1"):
+            CsrProblem(claims=bad, dependency=bad)
+
+    def test_table_iii_nbytes_is_about_8x_below_float64(self):
+        claims, dependency = _table_iii_matrices()
+        problem = CsrProblem(claims=claims, dependency=dependency)
+        int8_bytes = problem.claims.data.nbytes + problem.dependency.data.nbytes
+        float64_bytes = 8 * (problem.claims.nnz + problem.dependency.nnz)
+        assert int8_bytes * 8 == float64_bytes
+        # And the whole CSR container is far below the dense footprint.
+        n, m = TABLE_III_SHAPE
+        total = sum(
+            part.nbytes
+            for matrix in (problem.claims, problem.dependency)
+            for part in (matrix.data, matrix.indices, matrix.indptr)
+        )
+        assert total < 0.01 * (2 * n * m)
+
+    def test_backend_casts_to_float64_at_the_blas_boundary(self):
+        rng = np.random.default_rng(3)
+        sc = (rng.random((6, 9)) < 0.5).astype(np.int8)
+        dep = ((rng.random((6, 9)) < 0.3) & (sc == 1)).astype(np.int8)
+        problem = DenseProblem(claims=sc, dependency=dep).csr_view()
+        backend = make_backend(problem)
+        assert isinstance(backend, CSRBackend)
+        assert backend.dep.dtype == np.float64
+        assert backend.sc_dep.dtype == np.float64
+        assert backend.sc_indep.dtype == np.float64
+        # Storage stays int8 — the cast is a copy, not a mutation.
+        assert problem.claims.data.dtype == np.int8

@@ -1,0 +1,109 @@
+"""The densification memory guard (no large allocation ever happens)."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    BYTES_PER_DENSE_CELL,
+    DEFAULT_DENSE_BUDGET_BYTES,
+    CsrProblem,
+    MemoryBudgetError,
+    check_densify,
+    coerce_problem,
+    dense_budget,
+    estimate_dense_bytes,
+    get_dense_budget,
+    set_dense_budget,
+)
+from repro.utils.errors import ReproError, ValidationError
+
+#: The Paris Attack crawl's Table III shape — ~1.83 GB dense.
+TABLE_III_SHAPE = (38_844, 23_513)
+
+
+def _table_iii_problem(n_claims: int = 1000) -> CsrProblem:
+    """A Table-III-shaped CSR problem with a sprinkle of claims."""
+    from scipy import sparse
+
+    n, m = TABLE_III_SHAPE
+    rng = np.random.default_rng(0)
+    rows = rng.integers(0, n, size=n_claims)
+    cols = rng.integers(0, m, size=n_claims)
+    data = np.ones(n_claims, dtype=np.int8)
+    claims = sparse.csr_matrix((data, (rows, cols)), shape=(n, m))
+    claims.sum_duplicates()
+    claims.data[:] = 1
+    dependency = sparse.csr_matrix((n, m), dtype=np.int8)
+    return CsrProblem(claims=claims, dependency=dependency)
+
+
+class TestBudgetArithmetic:
+    def test_estimate_counts_both_matrices(self):
+        assert estimate_dense_bytes(10, 20) == 2 * 10 * 20
+        assert BYTES_PER_DENSE_CELL == 2
+
+    def test_table_iii_exceeds_the_default_budget(self):
+        required = estimate_dense_bytes(*TABLE_III_SHAPE)
+        assert required > DEFAULT_DENSE_BUDGET_BYTES
+        with pytest.raises(MemoryBudgetError) as excinfo:
+            check_densify(*TABLE_III_SHAPE)
+        assert excinfo.value.required_bytes == required
+        assert excinfo.value.budget_bytes == get_dense_budget()
+
+    def test_error_is_both_repro_and_memory_error(self):
+        with pytest.raises(ReproError):
+            check_densify(*TABLE_III_SHAPE)
+        with pytest.raises(MemoryError):
+            check_densify(*TABLE_III_SHAPE)
+
+    def test_small_problems_pass(self):
+        assert check_densify(100, 100) == 2 * 100 * 100
+
+
+class TestBudgetConfiguration:
+    def test_set_and_restore(self):
+        previous = set_dense_budget(1234)
+        try:
+            assert get_dense_budget() == 1234
+        finally:
+            set_dense_budget(previous)
+        assert get_dense_budget() == previous
+
+    def test_context_manager_restores_on_exit(self):
+        before = get_dense_budget()
+        with dense_budget(999):
+            assert get_dense_budget() == 999
+            with pytest.raises(MemoryBudgetError):
+                check_densify(100, 100)
+        assert get_dense_budget() == before
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, "big", True])
+    def test_rejects_invalid_budgets(self, bad):
+        with pytest.raises(ValidationError):
+            set_dense_budget(bad)
+
+
+class TestGuardedDensification:
+    def test_dense_view_refuses_table_iii(self):
+        problem = _table_iii_problem()
+        with pytest.raises(MemoryBudgetError):
+            problem.dense_view()
+        with pytest.raises(MemoryBudgetError):
+            problem.to_dense()
+        with pytest.raises(MemoryBudgetError):
+            coerce_problem(problem, needs="dense")
+
+    def test_explicit_budget_overrides_per_call(self):
+        problem = _table_iii_problem()
+        # A per-call budget below even a tiny problem's needs refuses...
+        small = CsrProblem(
+            claims=problem.claims[:5, :5],
+            dependency=problem.dependency[:5, :5],
+        )
+        with pytest.raises(MemoryBudgetError):
+            small.dense_view(budget=10)
+        # ...and a generous one admits without touching the global.
+        before = get_dense_budget()
+        dense = small.dense_view(budget=10_000)
+        assert dense.n_sources == 5
+        assert get_dense_budget() == before

@@ -1,0 +1,103 @@
+"""Protocol conformance and coercion semantics of the data layer."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    FORMATS,
+    FORMAT_CSR,
+    FORMAT_DENSE,
+    CsrProblem,
+    DenseProblem,
+    Problem,
+    SensingProblem,
+    SparseSensingProblem,
+    as_dependency_array,
+    coerce_problem,
+)
+from repro.utils.errors import ValidationError
+
+
+def _dense(n=4, m=6, seed=0, with_truth=True) -> DenseProblem:
+    rng = np.random.default_rng(seed)
+    sc = (rng.random((n, m)) < 0.5).astype(np.int8)
+    dep = ((rng.random((n, m)) < 0.3) & (sc == 1)).astype(np.int8)
+    truth = (rng.random(m) < 0.5).astype(np.int8) if with_truth else None
+    return DenseProblem(claims=sc, dependency=dep, truth=truth)
+
+
+class TestProtocol:
+    def test_format_tags(self):
+        assert FORMATS == (FORMAT_DENSE, FORMAT_CSR)
+        problem = _dense()
+        assert problem.format == FORMAT_DENSE
+        assert problem.csr_view().format == FORMAT_CSR
+
+    def test_both_adapters_satisfy_the_protocol(self):
+        dense = _dense()
+        assert isinstance(dense, Problem)
+        assert isinstance(dense.csr_view(), Problem)
+
+    def test_legacy_names_are_aliases(self):
+        assert SensingProblem is DenseProblem
+        assert SparseSensingProblem is CsrProblem
+
+    def test_protocol_accessors_agree_across_formats(self):
+        dense = _dense()
+        csr = dense.csr_view()
+        assert csr.n_sources == dense.n_sources
+        assert csr.n_assertions == dense.n_assertions
+        assert csr.n_claims == dense.n_claims
+        assert csr.source_ids == dense.source_ids
+        assert csr.assertion_ids == dense.assertion_ids
+        assert csr.has_truth == dense.has_truth
+        assert np.array_equal(csr.truth, dense.truth)
+        assert csr.dependent_claim_fraction() == pytest.approx(
+            dense.dependent_claim_fraction()
+        )
+
+    def test_without_truth_keeps_ids_in_both_formats(self):
+        dense = _dense()
+        assert dense.without_truth().source_ids == dense.source_ids
+        csr = dense.csr_view().without_truth()
+        assert not csr.has_truth
+        assert csr.assertion_ids == dense.assertion_ids
+
+
+class TestCoerceProblem:
+    def test_noop_when_format_matches(self):
+        dense = _dense()
+        assert coerce_problem(dense, needs=FORMAT_DENSE) is dense
+        csr = dense.csr_view()
+        assert coerce_problem(csr, needs=(FORMAT_DENSE, FORMAT_CSR)) is csr
+
+    def test_converts_to_first_listed_format(self):
+        dense = _dense()
+        assert coerce_problem(dense, needs=FORMAT_CSR).format == FORMAT_CSR
+        csr = dense.csr_view()
+        assert coerce_problem(csr, needs=FORMAT_DENSE) == dense
+
+    def test_rejects_raw_arrays(self):
+        with pytest.raises(ValidationError, match="expected a sensing problem"):
+            coerce_problem(np.zeros((2, 2)), needs=FORMAT_DENSE)
+
+    def test_rejects_unknown_format_tag(self):
+        with pytest.raises(ValidationError, match="unknown problem format"):
+            coerce_problem(_dense(), needs="coo")
+
+    def test_rejects_empty_needs(self):
+        with pytest.raises(ValidationError, match="at least one"):
+            coerce_problem(_dense(), needs=())
+
+
+class TestAsDependencyArray:
+    def test_accepts_every_spelling(self):
+        dense = _dense()
+        expected = dense.dependency.values
+        assert as_dependency_array(dense) is expected
+        assert as_dependency_array(dense.dependency) is expected
+        assert np.array_equal(as_dependency_array(dense.csr_view()), expected)
+        assert np.array_equal(
+            as_dependency_array(dense.csr_view().dependency), expected
+        )
+        assert np.array_equal(as_dependency_array(expected.tolist()), expected)

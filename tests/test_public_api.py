@@ -14,6 +14,7 @@ PACKAGES = [
     "repro.baselines",
     "repro.bounds",
     "repro.core",
+    "repro.data",
     "repro.datasets",
     "repro.engine",
     "repro.eval",
@@ -52,6 +53,7 @@ def test_top_level_quickstart_names():
         "EMExtEstimator", "SensingProblem", "SourceParameters",
         "generate_dataset", "exact_bound", "gibbs_bound",
         "simulate_dataset", "ApolloPipeline", "make_fact_finder",
+        "DenseProblem", "CsrProblem", "coerce_problem", "MemoryBudgetError",
     ):
         assert hasattr(repro, name), name
 
