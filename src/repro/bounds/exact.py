@@ -25,7 +25,7 @@ about the infinities explicitly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
 
@@ -34,6 +34,9 @@ from repro.data.coerce import as_dependency_array
 from repro.kernels.dedup import unique_columns
 from repro.kernels.enumeration import gray_pattern_masses, pattern_block
 from repro.utils.errors import ValidationError
+
+if TYPE_CHECKING:  # deferred to keep the bounds import-light
+    from repro.resilience.supervisor import Deadline
 
 #: Refuse exact enumeration above this source count (2^30 patterns).
 MAX_EXACT_SOURCES = 30
@@ -124,7 +127,10 @@ def _masses_to_result(fp_mass: float, fn_mass: float) -> BoundResult:
 
 
 def exact_column_bound(
-    d_column: np.ndarray, params: SourceParameters
+    d_column: np.ndarray,
+    params: SourceParameters,
+    *,
+    deadline: Optional["Deadline"] = None,
 ) -> BoundResult:
     """Exact Bayes-risk bound for a single assertion column.
 
@@ -132,6 +138,11 @@ def exact_column_bound(
     estimator decides "true" contribute to the false-positive share
     (the assertion was actually false), and vice versa; ties are decided
     as "false", matching the strict ``>`` comparison of Algorithm 1.
+
+    ``deadline`` (a :class:`repro.resilience.supervisor.Deadline`) is
+    checked cooperatively inside the enumeration; on expiry the raised
+    :class:`~repro.utils.errors.DeadlineExceeded` records how many
+    patterns were swept.
     """
     rate_true, rate_false = _emission_rates(d_column, params)
     n = rate_true.size
@@ -141,7 +152,9 @@ def exact_column_bound(
             f"{MAX_EXACT_SOURCES}. Use gibbs_column_bound instead."
         )
     if _is_degenerate(rate_true, rate_false):
-        return _degenerate_column_bound(rate_true, rate_false, params.z)
+        return _degenerate_column_bound(
+            rate_true, rate_false, params.z, deadline=deadline
+        )
     with np.errstate(divide="ignore"):
         log_z, log_1z = np.log(params.z), np.log1p(-params.z)
     fp_mass, fn_mass = gray_pattern_masses(
@@ -151,12 +164,17 @@ def exact_column_bound(
         np.log1p(-rate_false)[:, None],
         log_z,
         log_1z,
+        deadline=deadline,
     )
     return _masses_to_result(float(fp_mass[0]), float(fn_mass[0]))
 
 
 def _degenerate_column_bound(
-    rate_true: np.ndarray, rate_false: np.ndarray, z: float
+    rate_true: np.ndarray,
+    rate_false: np.ndarray,
+    z: float,
+    *,
+    deadline: Optional["Deadline"] = None,
 ) -> BoundResult:
     """Chunked enumeration handling rates exactly at 0/1.
 
@@ -174,6 +192,12 @@ def _degenerate_column_bound(
     fn_mass = 0.0
     total_patterns = 1 << n
     for start in range(0, total_patterns, _CHUNK):
+        if deadline is not None:
+            deadline.check(
+                "exact degenerate enumeration",
+                patterns_done=start,
+                patterns_total=total_patterns,
+            )
         stop = min(start + _CHUNK, total_patterns)
         patterns = pattern_block(start, stop, n)
         with np.errstate(invalid="ignore"):
@@ -214,7 +238,10 @@ def _impossible_penalty(patterns: np.ndarray, rates: np.ndarray) -> np.ndarray:
 
 
 def exact_bound(
-    dependency: np.ndarray, params: SourceParameters
+    dependency: np.ndarray,
+    params: SourceParameters,
+    *,
+    deadline: Optional["Deadline"] = None,
 ) -> BoundResult:
     """Exact bound averaged over all assertion columns of a D matrix.
 
@@ -231,7 +258,7 @@ def exact_bound(
     """
     dep = as_dependency_array(dependency)
     if dep.ndim == 1:
-        return exact_column_bound(dep, params)
+        return exact_column_bound(dep, params, deadline=deadline)
     if dep.ndim != 2:
         raise ValidationError(f"dependency must be 1-D or 2-D, got {dep.shape}")
     unique_cols, counts = _unique_columns(dep)
@@ -256,7 +283,7 @@ def exact_bound(
         total = fp = fn = 0.0
         m = dep.shape[1]
         for column, count in zip(unique_cols, counts):
-            result = exact_column_bound(column, params)
+            result = exact_column_bound(column, params, deadline=deadline)
             weight = count / m
             total += weight * result.total
             fp += weight * result.false_positive
@@ -273,6 +300,7 @@ def exact_bound(
         np.log1p(-rate_false),
         log_z,
         log_1z,
+        deadline=deadline,
     )
     weights = counts / dep.shape[1]
     fp = float(np.sum(weights * fp_mass))

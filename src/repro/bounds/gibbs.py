@@ -48,9 +48,12 @@ under one RNG, remains the byte-stable single-process path).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # deferred to keep the bounds import-light
+    from repro.resilience.supervisor import Deadline
 
 from repro.bounds.exact import BoundResult, _emission_rates, _unique_columns
 from repro.core.model import SourceParameters
@@ -201,9 +204,11 @@ def _run_sampler(
     weights: np.ndarray,
     config: GibbsConfig,
     rng: np.random.Generator,
+    deadline: Optional["Deadline"] = None,
 ) -> BoundResult:
     """Run the blocked chains for prebuilt tables to convergence."""
-    return _accumulate_bound(BlockedGibbsChains(tables, rng), weights, config)
+    chains = BlockedGibbsChains(tables, rng, deadline=deadline)
+    return _accumulate_bound(chains, weights, config)
 
 
 def _safe_frac(part: float, whole: float) -> float:
@@ -242,10 +247,13 @@ def _column_worker(payload) -> BoundResult:
 
     The payload carries an already-built single-row
     :class:`~repro.kernels.gibbs.GibbsTables` — clamping and log-taking
-    happened once in the parent, not per worker.
+    happened once in the parent, not per worker.  The parent's
+    ``Deadline`` travels in the payload: its absolute start instant is
+    meaningful across processes on one machine, so every shard honours
+    the *remaining* budget, not a fresh one.
     """
-    tables, config, rng = payload
-    return _run_sampler(tables, np.ones(1), config, rng)
+    tables, config, rng, deadline = payload
+    return _run_sampler(tables, np.ones(1), config, rng, deadline)
 
 
 def merge_column_bounds(
@@ -281,12 +289,14 @@ def _sharded_bound(
     config: GibbsConfig,
     seed: SeedLike,
     parallel: ParallelConfig,
+    deadline: Optional["Deadline"] = None,
 ) -> BoundResult:
     """One independent chain per distinct column, fanned out and merged."""
     n_columns = tables.n_chains
     rngs = spawn_rngs(seed, n_columns)
     payloads: List[tuple] = [
-        (tables.row(index), config, rngs[index]) for index in range(n_columns)
+        (tables.row(index), config, rngs[index], deadline)
+        for index in range(n_columns)
     ]
     results = parallel_map(_column_worker, payloads, config=parallel)
     return merge_column_bounds(results, weights)
@@ -299,6 +309,7 @@ def gibbs_bound(
     config: Optional[GibbsConfig] = None,
     seed: SeedLike = None,
     parallel: Optional[ParallelConfig] = None,
+    deadline: Optional["Deadline"] = None,
 ) -> BoundResult:
     """Gibbs-approximated bound for a D matrix (or one column).
 
@@ -313,6 +324,11 @@ def gibbs_bound(
     ``DependencyMatrix``, a scipy sparse matrix, or a whole sensing
     problem in either format (its D matrix is used) — see
     :func:`repro.data.as_dependency_array`.
+
+    ``deadline`` (a :class:`repro.resilience.supervisor.Deadline`) is
+    checked cooperatively at every sweep; the check never touches the
+    random stream, so a run under a never-expiring deadline is
+    bit-identical to a run without one.
     """
     config = config or GibbsConfig()
     dep = as_dependency_array(dependency)
@@ -331,8 +347,8 @@ def gibbs_bound(
         rate_true[index], rate_false[index] = _emission_rates(column, params)
     tables = GibbsTables.build(rate_true, rate_false, params.z)
     if parallel is not None:
-        return _sharded_bound(tables, weights, config, seed, parallel)
-    return _run_sampler(tables, weights, config, RandomState(seed))
+        return _sharded_bound(tables, weights, config, seed, parallel, deadline)
+    return _run_sampler(tables, weights, config, RandomState(seed), deadline)
 
 
 def gibbs_column_bound(
@@ -341,12 +357,13 @@ def gibbs_column_bound(
     *,
     config: Optional[GibbsConfig] = None,
     seed: SeedLike = None,
+    deadline: Optional["Deadline"] = None,
 ) -> BoundResult:
     """Approximate the bound for a single dependency column."""
     column = np.asarray(d_column)
     if column.ndim != 1:
         raise ValidationError(f"d_column must be 1-D, got shape {column.shape}")
-    return gibbs_bound(column, params, config=config, seed=seed)
+    return gibbs_bound(column, params, config=config, seed=seed, deadline=deadline)
 
 
 __all__ = [

@@ -22,6 +22,7 @@ from repro.baselines import ALGORITHM_REGISTRY, make_fact_finder
 from repro.bounds import (
     GibbsConfig,
     bhattacharyya_bounds,
+    bound_cascade,
     exact_bound,
     gibbs_bound,
 )
@@ -53,6 +54,7 @@ from repro.io import (
     save_tweets,
 )
 from repro.parallel import ParallelConfig
+from repro.resilience.supervisor import Deadline, parse_timespan
 from repro.synthetic import GeneratorConfig, empirical_parameters, generate_dataset
 from repro.utils.errors import ReproError
 
@@ -106,6 +108,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "--n-jobs", type=int, default=None, metavar="N",
         help="shard Gibbs chains across N worker processes (-1: all "
              "cores; results are identical for any N)",
+    )
+    bound.add_argument(
+        "--deadline", default=None, metavar="SPAN",
+        help="wall budget for the computation (e.g. 500ms, 5s, 2m); "
+             "implies --cascade behaviour on expiry",
+    )
+    bound.add_argument(
+        "--cascade", action="store_true",
+        help="pick the best affordable tier (exact -> gibbs -> "
+             "analytic) and report any degradation instead of failing",
     )
 
     simulate = subparsers.add_parser(
@@ -205,6 +217,30 @@ def _cmd_bound(args) -> int:
     # format) through repro.data.as_dependency_array.
     dependency = problem
     method = args.method
+    if args.cascade or args.deadline is not None:
+        deadline = (
+            Deadline.after(parse_timespan(args.deadline))
+            if args.deadline is not None
+            else None
+        )
+        outcome = bound_cascade(
+            dependency, params, deadline=deadline, seed=args.seed
+        )
+        result = outcome.bound
+        report = outcome.report
+        print(
+            f"{result.method} bound: Err = {result.total:.6f} "
+            f"(FP {result.false_positive:.6f}, FN {result.false_negative:.6f}); "
+            f"optimal accuracy ceiling = {result.optimal_accuracy:.6f}"
+        )
+        print(f"cascade: {report.summary()}")
+        if report.degraded:
+            print(
+                f"note: degraded from the {report.requested} tier "
+                f"({'deadline ' + args.deadline if args.deadline else 'budget'} "
+                "too tight for the better tiers)"
+            )
+        return 0
     if method == "auto":
         method = "exact" if problem.n_sources <= 20 else "gibbs"
     if method == "bhattacharyya":

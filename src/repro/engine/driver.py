@@ -56,11 +56,12 @@ import numpy as np
 
 from repro.core.model import ParameterTrace
 from repro.engine.health import RestartReport, RunHealth
-from repro.utils.errors import ConvergenceError, ValidationError
+from repro.utils.errors import ConvergenceError, DeadlineExceeded, ValidationError
 from repro.utils.rng import RandomState, SeedLike, spawn_rngs
 
 if TYPE_CHECKING:  # deferred to keep repro.parallel imports lazy
     from repro.parallel.config import ParallelConfig
+    from repro.resilience.supervisor import Deadline
 
 #: Per-iteration callback; a truthy return value requests an early stop.
 IterationCallback = Callable[["IterationEvent"], Optional[bool]]
@@ -157,6 +158,7 @@ class EMDriver:
         strict: bool = False,
         max_wall_seconds: Optional[float] = None,
         parallel: Optional["ParallelConfig"] = None,
+        budget: Optional["Deadline"] = None,
     ) -> None:
         if max_wall_seconds is not None and max_wall_seconds <= 0:
             raise ValidationError(
@@ -169,6 +171,7 @@ class EMDriver:
         self.strict = strict
         self.max_wall_seconds = max_wall_seconds
         self.parallel = parallel
+        self.budget = budget
 
     @classmethod
     def from_config(
@@ -198,6 +201,14 @@ class EMDriver:
         run is marked ``budget_exhausted``, never left parameterless).
         A non-finite log likelihood or parameter delta stops the loop
         immediately with ``diverged=True``.
+
+        A driver-level ``budget`` (a supervision
+        :class:`~repro.resilience.supervisor.Deadline`) is stricter: it
+        is checked cooperatively after every iteration and *raises*
+        :class:`~repro.utils.errors.DeadlineExceeded` with the iteration
+        count and last residual so supervisors such as
+        :func:`repro.bounds.cascade.bound_cascade` can fall back to a
+        cheaper tier instead of silently accepting a truncated fit.
         """
         trace = ParameterTrace()
         posterior = backend.posterior(params)
@@ -232,6 +243,13 @@ class EMDriver:
             if deadline is not None and time.perf_counter() >= deadline:
                 budget_exhausted = True
                 break
+            if self.budget is not None:
+                self.budget.check(
+                    "EMDriver.run",
+                    iteration=iteration,
+                    delta=float(delta),
+                    log_likelihood=float(log_likelihood),
+                )
             if stop_requested:
                 break
         return DriverOutcome(
@@ -288,6 +306,7 @@ class EMDriver:
         use_parallel = (
             self.parallel is not None
             and self.max_wall_seconds is None
+            and self.budget is None
             and self.n_restarts > 1
         )
         if use_parallel:
@@ -376,6 +395,10 @@ class EMDriver:
             try:
                 params = initialiser(index, restart_rng)
                 candidate = self.run(backend, params, deadline=deadline)
+            except DeadlineExceeded:
+                # Supervision budgets must reach the supervisor — they
+                # are not a per-restart fault to isolate and continue.
+                raise
             except Exception as error:
                 yield index, None, f"{type(error).__name__}: {error}"
                 continue

@@ -38,13 +38,20 @@ parent's recorder in that same order.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.baselines import ALGORITHM_REGISTRY, make_fact_finder
-from repro.bounds import GibbsConfig, MAX_EXACT_SOURCES, exact_bound, gibbs_bound
+from repro.bounds import (
+    GibbsConfig,
+    MAX_EXACT_SOURCES,
+    bound_cascade,
+    exact_bound,
+    gibbs_bound,
+)
 from repro.core.em_ext import EMConfig
 from repro.data.coerce import coerce_problem
 from repro.data.protocol import FORMATS, FORMAT_DENSE
@@ -58,12 +65,15 @@ from repro.resilience.checkpoint import (
 )
 from repro.resilience.policy import (
     ACTION_RETRIED,
+    ACTION_SHORT_CIRCUITED,
     ACTION_SKIPPED,
+    ACTION_TIMED_OUT,
     FAIL_FAST,
     FailurePolicy,
     TrialFailure,
     retry_seed,
 )
+from repro.resilience.supervisor import BreakerConfig, CircuitBreaker, Deadline
 from repro.synthetic import GeneratorConfig, SyntheticGenerator, empirical_parameters
 from repro.utils.errors import DataError, ValidationError
 from repro.utils.rng import RandomState, SeedLike, derive_seed
@@ -142,12 +152,29 @@ class SimulationResult:
         }
 
 
-def _optimal_metrics(problem, bound_config, exact_limit, seed) -> ClassificationMetrics:
-    """The bound's accuracy ceiling expressed as pseudo-metrics."""
+def _optimal_metrics(
+    problem, bound_config, exact_limit, seed, deadline_seconds=None
+) -> ClassificationMetrics:
+    """The bound's accuracy ceiling expressed as pseudo-metrics.
+
+    With ``deadline_seconds`` set the bound runs through
+    :func:`repro.bounds.bound_cascade` under a fresh
+    :class:`~repro.resilience.supervisor.Deadline` — a blown budget
+    degrades to a cheaper tier instead of hanging the trial.
+    """
     problem = coerce_problem(problem, needs=FORMAT_DENSE)
     params = empirical_parameters(problem).clamp(1e-4)
     dependency = problem.dependency.values
-    if problem.n_sources <= exact_limit:
+    if deadline_seconds is not None:
+        outcome = bound_cascade(
+            dependency,
+            params,
+            deadline=Deadline.after(deadline_seconds),
+            config=bound_config,
+            seed=seed,
+        )
+        bound = outcome.bound
+    elif problem.n_sources <= exact_limit:
         bound = exact_bound(dependency, params)
     else:
         bound = gibbs_bound(dependency, params, config=bound_config, seed=seed)
@@ -188,6 +215,7 @@ class _TrialSpec:
     bound_config: GibbsConfig
     exact_limit: int
     record_events: bool
+    bound_deadline_seconds: Optional[float] = None
 
 
 @dataclass
@@ -201,7 +229,7 @@ class _TrialOutcome:
 
 
 def _run_trial(
-    task: _TrialTask, spec: _TrialSpec, telemetry=None
+    task: _TrialTask, spec: _TrialSpec, telemetry=None, breakers=None
 ) -> _TrialOutcome:
     """Fit and score every algorithm of one trial (runs in a worker).
 
@@ -209,6 +237,12 @@ def _run_trial(
     ledger entries come back inside the outcome; under ``fail_fast``
     the exception propagates (and, in a pool, is re-raised in the
     parent on this trial's turn).
+
+    ``breakers`` (serial path only — breaker state spans trials and
+    cannot live in a worker) maps algorithm names to
+    :class:`~repro.resilience.supervisor.CircuitBreaker` instances; a
+    fit whose breaker is open is short-circuited into the ledger
+    without running.
     """
     problem = task.problem
     blind = problem.without_truth()
@@ -216,6 +250,29 @@ def _run_trial(
     callbacks = telemetry if telemetry is not None else recorder
     failures: List[TrialFailure] = []
     metrics_by_name = []
+
+    def _supervised(name, base_seed, fit):
+        breaker = breakers.get(name) if breakers is not None else None
+        if breaker is not None and not breaker.allow():
+            failures.append(
+                TrialFailure(
+                    trial=task.trial,
+                    algorithm=name,
+                    attempt=0,
+                    error_type="CircuitOpenError",
+                    message=str(breaker.call_refused_error(name))[:500],
+                    action=ACTION_SHORT_CIRCUITED,
+                )
+            )
+            return None
+        metrics = _attempt(fit, task.trial, name, base_seed, spec.policy, failures)
+        if breaker is not None:
+            if metrics is not None:
+                breaker.record_success()
+            else:
+                breaker.record_failure()
+        return metrics
+
     for name in spec.algorithms:
 
         def _fit_and_score(fit_seed: int, name: str = name) -> ClassificationMetrics:
@@ -227,20 +284,19 @@ def _run_trial(
                 )
             return score_result(result, problem.truth)
 
-        metrics = _attempt(
-            _fit_and_score, task.trial, name, task.trial_seed, spec.policy, failures
-        )
+        metrics = _supervised(name, task.trial_seed, _fit_and_score)
         metrics_by_name.append((name, metrics))
     if spec.include_optimal:
-        metrics = _attempt(
-            lambda s: _optimal_metrics(
-                problem, spec.bound_config, spec.exact_limit, s
-            ),
-            task.trial,
+        metrics = _supervised(
             OPTIMAL_KEY,
             task.optimal_seed,
-            spec.policy,
-            failures,
+            lambda s: _optimal_metrics(
+                problem,
+                spec.bound_config,
+                spec.exact_limit,
+                s,
+                spec.bound_deadline_seconds,
+            ),
         )
         metrics_by_name.append((OPTIMAL_KEY, metrics))
     return _TrialOutcome(
@@ -255,6 +311,41 @@ def _trial_worker(payload) -> _TrialOutcome:
     """Pool entry point: unpack one ``(task, spec)`` payload."""
     task, spec = payload
     return _run_trial(task, spec)
+
+
+def _timed_out_outcome(index, payload, error) -> _TrialOutcome:
+    """Substitute outcome for a trial lost to a wedged worker.
+
+    Used as :func:`repro.parallel.parallel_imap`'s ``on_timeout`` hook
+    when the failure policy is softer than ``fail_fast``: the wedge
+    becomes one ``timed_out`` ledger entry per algorithm (carrying the
+    trial's seed so the trial is reproducible in isolation) and the
+    sweep keeps going.
+    """
+    task, spec = payload
+    names = list(spec.algorithms)
+    if spec.include_optimal:
+        names.append(OPTIMAL_KEY)
+    message = (
+        f"trial {task.trial} (seed {task.trial_seed}) lost to a wedged "
+        f"worker: {error}"
+    )
+    return _TrialOutcome(
+        trial=task.trial,
+        metrics=[(name, None) for name in names],
+        failures=[
+            TrialFailure(
+                trial=task.trial,
+                algorithm=name,
+                attempt=0,
+                error_type=type(error).__name__,
+                message=message[:500],
+                action=ACTION_TIMED_OUT,
+            )
+            for name in names
+        ],
+        events=[],
+    )
 
 
 def run_simulation(
@@ -273,6 +364,8 @@ def run_simulation(
     checkpoint_interval: int = 1,
     parallel: Optional[ParallelConfig] = None,
     problem_format: str = FORMAT_DENSE,
+    breaker_config: Optional[BreakerConfig] = None,
+    bound_deadline_seconds: Optional[float] = None,
 ) -> SimulationResult:
     """Run the Section V-B experiment loop at one parameter point.
 
@@ -307,6 +400,28 @@ def run_simulation(
     historical default — or ``"csr"``); every registered algorithm
     coerces its input as needed, so this exercises the sparse path
     end-to-end without changing the experiment's statistics.
+
+    ``breaker_config`` (a
+    :class:`~repro.resilience.supervisor.BreakerConfig`) wraps every
+    algorithm's per-trial fit in its own
+    :class:`~repro.resilience.supervisor.CircuitBreaker`: an algorithm
+    that keeps failing is short-circuited (``short_circuited`` ledger
+    entries) instead of burning a full fit per trial, with half-open
+    probes giving it a way back.  Breaker state spans trials, so it is
+    supported only on the serial path (combining it with ``parallel``
+    raises :class:`~repro.utils.errors.ValidationError`).
+
+    ``bound_deadline_seconds`` budgets each trial's "optimal" bound
+    evaluation: the bound runs through
+    :func:`repro.bounds.bound_cascade`, degrading exact → gibbs →
+    analytic rather than hanging the trial.
+
+    When ``parallel`` sets ``timeout_seconds`` and the failure policy
+    is softer than ``fail_fast``, a trial lost to a wedged worker
+    surfaces as ``timed_out`` ledger entries (the executor resubmits
+    wedged chunks up to ``parallel.max_resubmits`` first) and the sweep
+    continues; under ``fail_fast`` the
+    :class:`~repro.parallel.WorkerTimeoutError` propagates.
     """
     if n_trials <= 0:
         raise ValidationError(f"n_trials must be positive, got {n_trials}")
@@ -319,6 +434,16 @@ def run_simulation(
             f"checkpoint_interval must be positive, got {checkpoint_interval}"
         )
     policy = failure_policy or FailurePolicy.fail_fast()
+    if breaker_config is not None and parallel is not None:
+        raise ValidationError(
+            "circuit breakers keep state across trials and are supported "
+            "only on the serial path; drop breaker_config or parallel"
+        )
+    if bound_deadline_seconds is not None and not bound_deadline_seconds > 0:
+        raise ValidationError(
+            "bound_deadline_seconds must be positive, got "
+            f"{bound_deadline_seconds}"
+        )
     exact_limit = min(exact_limit, MAX_EXACT_SOURCES)
     bound_config = bound_config or GibbsConfig(min_sweeps=400, max_sweeps=4000)
     rng = RandomState(seed)
@@ -393,14 +518,27 @@ def run_simulation(
         bound_config=bound_config,
         exact_limit=exact_limit,
         record_events=parallel is not None and telemetry is not None,
+        bound_deadline_seconds=bound_deadline_seconds,
     )
     if parallel is None:
+        breakers = None
+        if breaker_config is not None:
+            names = list(algorithms) + ([OPTIMAL_KEY] if include_optimal else [])
+            breakers = {name: CircuitBreaker(breaker_config) for name in names}
         # Serial path: the estimators call the caller's telemetry
         # callback live (preserving its early-stop protocol).
-        outcomes = (_run_trial(task, spec, telemetry) for task in tasks)
+        outcomes = (_run_trial(task, spec, telemetry, breakers) for task in tasks)
     else:
+        on_timeout = (
+            _timed_out_outcome
+            if parallel.timeout_seconds is not None and policy.mode != FAIL_FAST
+            else None
+        )
         outcomes = parallel_imap(
-            _trial_worker, [(task, spec) for task in tasks], config=parallel
+            _trial_worker,
+            [(task, spec) for task in tasks],
+            config=parallel,
+            on_timeout=on_timeout,
         )
     for outcome in outcomes:
         if spec.record_events:
@@ -444,9 +582,15 @@ def _attempt(
 
     Returns the metrics, or ``None`` when every attempt failed and the
     policy said to skip.  Retry attempts are reseeded deterministically
-    from ``base_seed`` alone, so they never perturb the master RNG.
+    from ``base_seed`` alone, so they never perturb the master RNG —
+    and pause first for the policy's (equally deterministic)
+    exponential-backoff delay, when one is configured.
     """
     for attempt in range(policy.attempts):
+        if attempt:
+            delay = policy.delay_before(attempt, base_seed)
+            if delay > 0:
+                time.sleep(delay)
         try:
             return fit(retry_seed(base_seed, attempt))
         except Exception as error:

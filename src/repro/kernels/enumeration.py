@@ -28,9 +28,12 @@ patterns explicitly.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # deferred: kernels must stay import-light
+    from repro.resilience.supervisor import Deadline
 
 #: Default number of tabulated low sources (64k-row tables, matching
 #: the historical chunk size).
@@ -57,6 +60,19 @@ def _low_bits(n: int, k: int) -> int:
     return n_lo
 
 
+def table_bytes_estimate(n: int, k: int) -> int:
+    """Estimated low-table allocation of :func:`gray_pattern_masses`.
+
+    Two exponentiated ``(2^n_lo, K)`` float64 joint tables plus the
+    ``(2^n_lo, n_lo)`` pattern block and its complement — the cost
+    model :func:`repro.bounds.cascade.bound_cascade` checks against a
+    deadline's memory budget before committing to the exact tier.
+    """
+    n_lo = _low_bits(n, max(k, 1))
+    rows = 1 << n_lo
+    return 8 * rows * (2 * max(k, 1) + 2 * n_lo)
+
+
 def gray_pattern_masses(
     log_r1: np.ndarray,
     log_1r1: np.ndarray,
@@ -64,6 +80,8 @@ def gray_pattern_masses(
     log_1r0: np.ndarray,
     log_z: float,
     log_1z: float,
+    *,
+    deadline: Optional["Deadline"] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Per-column (false-positive, false-negative) mass of Equation (3).
 
@@ -73,10 +91,26 @@ def gray_pattern_masses(
     joint (ties decide "false", matching Algorithm 1's strict ``>``);
     the smaller joint's mass accumulates into the corresponding error
     side.  Returns two ``(K,)`` arrays.
+
+    ``deadline`` is checked cooperatively once per Gray-code refresh
+    interval (every :data:`_REFRESH_INTERVAL` of the ``2^n_hi`` outer
+    steps — the check never touches the hot incremental updates); on
+    expiry :class:`~repro.utils.errors.DeadlineExceeded` carries the
+    pattern count completed so far.
     """
     n, k = log_r1.shape
     n_lo = _low_bits(n, k)
     n_hi = n - n_lo
+    if deadline is not None:
+        deadline.check_memory(
+            table_bytes_estimate(n, k), "gray_pattern_masses low table"
+        )
+        deadline.check(
+            "gray-code enumeration",
+            patterns_done=0,
+            patterns_total=1 << n,
+            n_columns=k,
+        )
 
     patterns = pattern_block(0, 1 << n_lo, n_lo)
     complement = 1.0 - patterns
@@ -93,7 +127,8 @@ def gray_pattern_masses(
     fp_mass = np.zeros(k)
     fn_mass = np.zeros(k)
     state = np.zeros(n_hi, dtype=bool)
-    for step in range(1 << n_hi):
+    total_steps = 1 << n_hi
+    for step in range(total_steps):
         if step:
             bit = (step & -step).bit_length() - 1
             flip = -1.0 if state[bit] else 1.0
@@ -104,6 +139,13 @@ def gray_pattern_masses(
             else:
                 hi_true = base_true + delta_true[state].sum(axis=0)
                 hi_false = base_false + delta_false[state].sum(axis=0)
+                if deadline is not None:
+                    deadline.check(
+                        "gray-code enumeration",
+                        patterns_done=step << n_lo,
+                        patterns_total=total_steps << n_lo,
+                        n_columns=k,
+                    )
         joint_true = exp_low_true * np.exp(hi_true)
         joint_false = exp_low_false * np.exp(hi_false)
         decide_true = joint_true > joint_false
@@ -112,4 +154,4 @@ def gray_pattern_masses(
     return fp_mass, fn_mass
 
 
-__all__ = ["gray_pattern_masses", "pattern_block"]
+__all__ = ["gray_pattern_masses", "pattern_block", "table_bytes_estimate"]

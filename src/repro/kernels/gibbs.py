@@ -29,8 +29,12 @@ rather than once per worker).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
+
+if TYPE_CHECKING:  # deferred: kernels must stay import-light
+    from repro.resilience.supervisor import Deadline
 
 #: Rate clamp keeping every chain irreducible for degenerate θ.
 RATE_EPS = 1e-12
@@ -96,13 +100,30 @@ class GibbsTables:
 
 
 class BlockedGibbsChains:
-    """``K`` chains advanced together by blocked vectorised sweeps."""
+    """``K`` chains advanced together by blocked vectorised sweeps.
 
-    def __init__(self, tables: GibbsTables, rng: np.random.Generator):
+    ``deadline`` (a :class:`repro.resilience.supervisor.Deadline`) is
+    checked cooperatively at the top of every sweep; on expiry the
+    raised :class:`~repro.utils.errors.DeadlineExceeded` carries the
+    number of sweeps completed so the sampler's partial progress is
+    diagnosable.  The check never perturbs the random stream, so a
+    chain with a never-expiring deadline is bit-identical to one
+    without.
+    """
+
+    def __init__(
+        self,
+        tables: GibbsTables,
+        rng: np.random.Generator,
+        *,
+        deadline: Optional["Deadline"] = None,
+    ):
         self.tables = tables
         self.n_chains = tables.n_chains
         self.n_sources = tables.n_sources
         self.rng = rng
+        self.deadline = deadline
+        self.n_sweeps = 0
         self.state = rng.random((self.n_chains, self.n_sources)) < 0.5
         self._refresh_likelihoods()
 
@@ -113,6 +134,14 @@ class BlockedGibbsChains:
 
     def sweep(self) -> None:
         """One blocked sweep: draw ``C | SC`` then redraw ``SC | C``."""
+        if self.deadline is not None:
+            self.deadline.check(
+                "gibbs-sweep",
+                n_sweeps=self.n_sweeps,
+                n_chains=self.n_chains,
+                n_sources=self.n_sources,
+            )
+        self.n_sweeps += 1
         t = self.tables
         joint_true = self._like_true + t.log_z
         joint_false = self._like_false + t.log_1z

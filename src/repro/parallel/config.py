@@ -20,7 +20,11 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.utils.errors import ValidationError
-from repro.utils.validation import check_in_choices, check_positive_int
+from repro.utils.validation import (
+    check_in_choices,
+    check_nonnegative_int,
+    check_positive_int,
+)
 
 #: Backend names.
 BACKEND_PROCESS = "process"
@@ -67,11 +71,20 @@ class ParallelConfig:
         algorithms registered with
         :func:`repro.resilience.faults.temporary_algorithm`.
     timeout_seconds:
-        Hang guard: maximum wait for each next in-order result.  On
-        expiry the pool is *terminated* (workers killed, not joined)
-        and :class:`~repro.parallel.executor.WorkerTimeoutError` is
-        raised — a wedged worker can never hang the parent.  ``None``
-        (default) disables the guard.
+        Hang guard: a per-chunk *soft deadline*.  Workers heartbeat the
+        parent before every task; a chunk whose heartbeat goes silent
+        for this long is treated as wedged — the pool is terminated
+        (workers killed, not joined), healthy chunks are resubmitted to
+        a fresh pool, and the wedged chunk is retried up to
+        ``max_resubmits`` times before it surfaces as a
+        :class:`~repro.parallel.executor.WorkerTimeoutError` — so a
+        wedged worker can never hang the parent.  ``None`` (default)
+        disables the guard.
+    max_resubmits:
+        How many times a wedged chunk is resubmitted to a rebuilt pool
+        before it is declared failed.  ``0`` (default) fails a wedged
+        chunk on first detection — the historical kill-the-pool
+        behaviour.  Only meaningful with ``timeout_seconds`` set.
     """
 
     n_jobs: int = 1
@@ -79,6 +92,7 @@ class ParallelConfig:
     chunk_size: int = 1
     start_method: Optional[str] = None
     timeout_seconds: Optional[float] = None
+    max_resubmits: int = 0
 
     def __post_init__(self) -> None:
         if self.n_jobs != -1:
@@ -91,6 +105,7 @@ class ParallelConfig:
             raise ValidationError(
                 f"timeout_seconds must be positive, got {self.timeout_seconds}"
             )
+        check_nonnegative_int(self.max_resubmits, "max_resubmits")
 
     @classmethod
     def serial(cls) -> "ParallelConfig":

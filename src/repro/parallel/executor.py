@@ -13,16 +13,29 @@ Failure semantics:
   turn (the pool is terminated first, so no orphaned work keeps
   burning CPU) — callers that want softer behaviour catch inside the
   worker function, exactly as the serial code catches around the call;
-* a result that does not arrive within ``config.timeout_seconds``
-  *kills* the pool (``terminate``, not ``join``) and raises
-  :class:`WorkerTimeoutError`, so a wedged or deadlocked worker can
-  never hang the parent sweep.
+* with ``config.timeout_seconds`` set, each chunk gets a *soft
+  deadline* supervised through worker heartbeats: workers stamp a
+  shared array before every task, and a chunk whose heartbeat goes
+  silent past the timeout is treated as wedged.  The wedged pool is
+  terminated (``terminate``, not ``join``), unfinished healthy chunks
+  are resubmitted to a fresh pool, and the wedged chunk itself is
+  retried up to ``config.max_resubmits`` times.  A chunk that exhausts
+  its resubmissions surfaces as :class:`WorkerTimeoutError` — raised
+  at its in-order turn, or routed through the caller's ``on_timeout``
+  hook (one call per task, its return value yielded in the task's
+  place) so a sweep can degrade per-trial instead of aborting.
+
+The supervised path changes *when* results are computed, never *what*:
+on a fault-free run the chunks, their order and every task's arguments
+are identical to the unsupervised path, so serial parity is preserved
+(pinned in ``tests/parallel/test_serial_parity.py``).
 """
 
 from __future__ import annotations
 
 import multiprocessing
-from typing import Callable, Iterator, List, Sequence, TypeVar
+import time
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.parallel.config import BACKEND_SERIAL, ParallelConfig
 from repro.utils.errors import ReproError
@@ -30,9 +43,33 @@ from repro.utils.errors import ReproError
 TaskT = TypeVar("TaskT")
 ResultT = TypeVar("ResultT")
 
+#: ``on_timeout(global_task_index, task, error) -> substitute result``.
+TimeoutHook = Callable[[int, TaskT, "WorkerTimeoutError"], ResultT]
+
 
 class WorkerTimeoutError(ReproError):
-    """A worker result did not arrive within the configured timeout."""
+    """A chunk's heartbeat went silent past the configured timeout.
+
+    Carries enough context to turn the wedge into per-trial failure
+    records: which chunk wedged, the global indices of the tasks it
+    held, how long the parent waited and how many resubmissions were
+    burned before giving up.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        chunk_index: Optional[int] = None,
+        task_indices: Tuple[int, ...] = (),
+        elapsed_seconds: float = 0.0,
+        n_resubmits: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.chunk_index = chunk_index
+        self.task_indices = tuple(task_indices)
+        self.elapsed_seconds = elapsed_seconds
+        self.n_resubmits = n_resubmits
 
 
 def _run_chunk(payload):
@@ -46,11 +83,190 @@ def _run_chunk(payload):
     return [fn(task) for task in chunk]
 
 
+# -- supervised (heartbeat) path -------------------------------------------
+
+#: Per-process shared heartbeat array, installed by the pool initializer.
+_HEARTBEATS = None
+
+
+def _init_heartbeats(array) -> None:
+    global _HEARTBEATS
+    _HEARTBEATS = array
+
+
+def _run_chunk_supervised(payload):
+    """Like :func:`_run_chunk`, but stamps a heartbeat before each task.
+
+    ``time.monotonic`` is system-wide on the platforms the process
+    backend supports, so the parent compares worker stamps directly
+    against its own clock.
+    """
+    index, fn, chunk = payload
+    results = []
+    for task in chunk:
+        if _HEARTBEATS is not None:
+            _HEARTBEATS[index] = time.monotonic()
+        results.append(fn(task))
+    if _HEARTBEATS is not None:
+        _HEARTBEATS[index] = time.monotonic()
+    return results
+
+
+def _supervised_imap(
+    fn: Callable[[TaskT], ResultT],
+    chunks: List[List[TaskT]],
+    offsets: List[int],
+    jobs: int,
+    config: ParallelConfig,
+    on_timeout: Optional[TimeoutHook],
+) -> Iterator[ResultT]:
+    """Heartbeat-supervised ordered fan-out with bounded resubmission."""
+    timeout = float(config.timeout_seconds)  # type: ignore[arg-type]
+    poll = max(0.01, min(timeout / 4.0, 0.25))
+    n = len(chunks)
+    context = multiprocessing.get_context(config.start_method)
+    heartbeats = context.Array("d", n)
+
+    resubmits = [0] * n
+    results: dict = {}  # chunk index -> list of task results
+    worker_errors: dict = {}  # chunk index -> exception from the worker
+    failures: dict = {}  # chunk index -> WorkerTimeoutError
+    pending = set(range(n))
+    last_beat = [0.0] * n
+    now = time.monotonic()
+    progress_at = [now] * n  # last time chunk i demonstrably advanced
+    last_progress = now  # last time *anything* advanced
+
+    def make_pool():
+        return context.Pool(
+            processes=jobs,
+            initializer=_init_heartbeats,
+            initargs=(heartbeats,),
+        )
+
+    def submit(pool, indices):
+        return {
+            i: pool.apply_async(_run_chunk_supervised, ((i, fn, chunks[i]),))
+            for i in sorted(indices)
+        }
+
+    pool = make_pool()
+    handles = submit(pool, pending)
+    alive = True
+    try:
+        next_index = 0
+        while next_index < n:
+            if next_index in results:
+                yield from results.pop(next_index)
+                next_index += 1
+                continue
+            if next_index in worker_errors:
+                # Fail-fast parity with the serial path: stop the
+                # remaining work before re-raising.
+                if alive:
+                    pool.terminate()
+                    alive = False
+                raise worker_errors[next_index]
+            if next_index in failures:
+                error = failures[next_index]
+                if on_timeout is None:
+                    if alive:
+                        pool.terminate()
+                        alive = False
+                    raise error
+                for step, task in enumerate(chunks[next_index]):
+                    yield on_timeout(offsets[next_index] + step, task, error)
+                next_index += 1
+                continue
+
+            handles[next_index].wait(poll)
+
+            # Harvest everything that finished, in any order.
+            progressed = False
+            for i in sorted(pending):
+                handle = handles.get(i)
+                if handle is None or not handle.ready():
+                    continue
+                pending.discard(i)
+                progressed = True
+                try:
+                    results[i] = handle.get()
+                except Exception as error:  # worker-raised
+                    worker_errors[i] = error
+
+            # Observe heartbeats.
+            now = time.monotonic()
+            for i in sorted(pending):
+                beat = heartbeats[i]
+                if beat > last_beat[i]:
+                    last_beat[i] = beat
+                    progress_at[i] = now
+                    progressed = True
+            if progressed:
+                last_progress = now
+                continue
+            if now - last_progress <= timeout:
+                continue
+
+            # Wedge: nothing progressed for a full timeout.  Started
+            # chunks whose own heartbeat is stale are the culprits;
+            # when none has even started, blame the chunk being waited
+            # on (the whole pool is starved).
+            stale = {
+                i
+                for i in pending
+                if last_beat[i] > 0.0 and now - progress_at[i] > timeout
+            }
+            if not stale:
+                stale = {min(i for i in pending)}
+            pool.terminate()
+            pool.join()
+            alive = False
+            for i in sorted(stale):
+                resubmits[i] += 1
+                if resubmits[i] > config.max_resubmits:
+                    pending.discard(i)
+                    failures[i] = WorkerTimeoutError(
+                        f"chunk {i} (tasks {offsets[i]}..."
+                        f"{offsets[i] + len(chunks[i]) - 1}) made no progress "
+                        f"within {timeout:g}s after {resubmits[i] - 1} "
+                        f"resubmission(s); pool of {jobs} terminated",
+                        chunk_index=i,
+                        task_indices=tuple(
+                            range(offsets[i], offsets[i] + len(chunks[i]))
+                        ),
+                        elapsed_seconds=now - progress_at[i],
+                        n_resubmits=resubmits[i] - 1,
+                    )
+            if pending:
+                now = time.monotonic()
+                for i in pending:
+                    heartbeats[i] = 0.0
+                    last_beat[i] = 0.0
+                    progress_at[i] = now
+                last_progress = now
+                pool = make_pool()
+                alive = True
+                handles = submit(pool, pending)
+            else:
+                handles = {}
+    except GeneratorExit:
+        if alive:
+            pool.terminate()
+            alive = False
+        raise
+    finally:
+        if alive:
+            pool.close()
+        pool.join()
+
+
 def parallel_imap(
     fn: Callable[[TaskT], ResultT],
     tasks: Sequence[TaskT],
     *,
     config: ParallelConfig,
+    on_timeout: Optional[TimeoutHook] = None,
 ) -> Iterator[ResultT]:
     """Yield ``fn(task)`` for every task, in order, possibly from workers.
 
@@ -59,6 +275,14 @@ def parallel_imap(
     effective worker the tasks run in-process through the *same* code
     path, which is what makes ``n_jobs=1`` vs ``n_jobs=k`` parity tests
     meaningful.
+
+    ``on_timeout`` (supervised path only — requires
+    ``config.timeout_seconds``) is called once per task of a chunk that
+    exhausted its resubmissions, as ``on_timeout(global_index, task,
+    error)``; its return value is yielded in the task's place, so a
+    wedged chunk degrades into substitute results instead of aborting
+    the sweep.  Without the hook the :class:`WorkerTimeoutError` is
+    raised at the wedged chunk's in-order turn.
     """
     tasks = list(tasks)
     if not tasks:
@@ -70,6 +294,10 @@ def parallel_imap(
         return
     size = config.chunk_size
     chunks = [tasks[i : i + size] for i in range(0, len(tasks), size)]
+    if config.timeout_seconds is not None:
+        offsets = list(range(0, len(tasks), size))
+        yield from _supervised_imap(fn, chunks, offsets, jobs, config, on_timeout)
+        return
     context = multiprocessing.get_context(config.start_method)
     pool = context.Pool(processes=jobs)
     terminated = False
@@ -77,17 +305,7 @@ def parallel_imap(
         iterator = pool.imap(_run_chunk, [(fn, chunk) for chunk in chunks])
         for _ in range(len(chunks)):
             try:
-                if config.timeout_seconds is None:
-                    results = iterator.next()
-                else:
-                    results = iterator.next(config.timeout_seconds)
-            except multiprocessing.TimeoutError:
-                pool.terminate()
-                terminated = True
-                raise WorkerTimeoutError(
-                    f"no worker result within {config.timeout_seconds}s "
-                    f"(pool of {jobs} terminated)"
-                ) from None
+                results = iterator.next()
             except Exception:
                 # Worker-raised exception: stop the remaining work before
                 # re-raising, so fail-fast semantics match the serial path.
@@ -112,9 +330,10 @@ def parallel_map(
     tasks: Sequence[TaskT],
     *,
     config: ParallelConfig,
+    on_timeout: Optional[TimeoutHook] = None,
 ) -> List[ResultT]:
     """Eager form of :func:`parallel_imap`."""
-    return list(parallel_imap(fn, tasks, config=config))
+    return list(parallel_imap(fn, tasks, config=config, on_timeout=on_timeout))
 
 
-__all__ = ["WorkerTimeoutError", "parallel_imap", "parallel_map"]
+__all__ = ["TimeoutHook", "WorkerTimeoutError", "parallel_imap", "parallel_map"]

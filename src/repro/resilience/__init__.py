@@ -18,7 +18,12 @@ engine, the evaluation harness and the streaming estimator:
 * :mod:`repro.resilience.faults` — the deterministic fault-injection
   toolkit (corrupted matrices, byzantine sources, malformed tweet
   streams, flaky backends, chaos fact-finders) behind the
-  ``tests/resilience`` chaos suite.
+  ``tests/resilience`` chaos suite;
+* :mod:`repro.resilience.supervisor` — deadline-aware supervision:
+  the cooperative :class:`Deadline` budget threaded through EM
+  iterations, Gibbs sweeps and Gray-code enumeration, deterministic
+  exponential backoff for retries, and the call-counted
+  :class:`CircuitBreaker` the harness wraps around per-algorithm fits.
 """
 
 from repro.engine.health import (
@@ -47,10 +52,24 @@ from repro.resilience.policy import (
     TrialFailure,
     retry_seed,
 )
+from repro.resilience.supervisor import (
+    BreakerConfig,
+    CircuitBreaker,
+    CircuitOpenError,
+    Deadline,
+    DeadlineExceeded,
+    backoff_delay,
+    parse_timespan,
+)
 
 __all__ = [
+    "BreakerConfig",
     "CHECKPOINT_VERSION",
     "CheckpointState",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "Deadline",
+    "DeadlineExceeded",
     "FAILED_STATUSES",
     "FailurePolicy",
     "FaultInjector",
@@ -61,8 +80,10 @@ __all__ = [
     "RestartReport",
     "RunHealth",
     "TrialFailure",
+    "backoff_delay",
     "chaos_finder",
     "load_checkpoint",
+    "parse_timespan",
     "retry_seed",
     "save_checkpoint",
     "simulation_fingerprint",

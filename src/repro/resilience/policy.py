@@ -15,6 +15,14 @@ scores) inside one trial:
   a deterministically reseeded estimator (:func:`retry_seed`), then
   skip.  Reseeding never touches the harness's master RNG, so trials
   that *don't* fail produce bit-identical results whatever the policy.
+
+Retries optionally pause with deterministic exponential backoff
+(``backoff_base`` > 0): the delay before attempt ``k`` is
+``base · factor^(k-1)`` capped at ``backoff_max`` and perturbed by
+seeded jitter (:func:`repro.resilience.supervisor.backoff_delay`), so a
+flaky shared resource is not hammered in lockstep yet the schedule is a
+pure function of the policy and the trial seed.  The default
+``backoff_base = 0`` keeps the historical immediate-retry behaviour.
 """
 
 from __future__ import annotations
@@ -24,7 +32,9 @@ from typing import Dict
 
 import numpy as np
 
+from repro.resilience.supervisor import backoff_delay
 from repro.utils.errors import ValidationError
+from repro.utils.validation import check_positive_int
 
 #: Policy mode names.
 FAIL_FAST = "fail_fast"
@@ -35,6 +45,8 @@ _MODES = (FAIL_FAST, SKIP, RETRY)
 #: Ledger actions.
 ACTION_RETRIED = "retried"
 ACTION_SKIPPED = "skipped"
+ACTION_SHORT_CIRCUITED = "short_circuited"
+ACTION_TIMED_OUT = "timed_out"
 
 
 @dataclass(frozen=True)
@@ -43,15 +55,40 @@ class FailurePolicy:
 
     mode: str = FAIL_FAST
     max_attempts: int = 3
+    backoff_base: float = 0.0
+    backoff_factor: float = 2.0
+    backoff_max: float = 30.0
+    backoff_jitter: float = 0.1
 
     def __post_init__(self) -> None:
         if self.mode not in _MODES:
             raise ValidationError(
                 f"mode must be one of {_MODES}, got {self.mode!r}"
             )
-        if not isinstance(self.max_attempts, (int, np.integer)) or self.max_attempts < 1:
+        # check_positive_int rejects bool *and* np.bool_ — np.True_ is
+        # not a ``bool`` subclass, so the historical isinstance check
+        # accepted it as a retry budget of 1.
+        check_positive_int(self.max_attempts, "max_attempts")
+        for name, minimum in (
+            ("backoff_base", 0.0),
+            ("backoff_factor", 1.0),
+            ("backoff_max", 0.0),
+            ("backoff_jitter", 0.0),
+        ):
+            value = getattr(self, name)
+            if isinstance(value, (bool, np.bool_)) or not isinstance(
+                value, (int, float, np.integer, np.floating)
+            ):
+                raise ValidationError(
+                    f"{name} must be a number, got {value!r}"
+                )
+            if value < minimum:
+                raise ValidationError(
+                    f"{name} must be >= {minimum}, got {value}"
+                )
+        if self.backoff_jitter >= 1.0:
             raise ValidationError(
-                f"max_attempts must be a positive int, got {self.max_attempts!r}"
+                f"backoff_jitter must be < 1, got {self.backoff_jitter}"
             )
 
     @classmethod
@@ -65,14 +102,31 @@ class FailurePolicy:
         return cls(mode=SKIP)
 
     @classmethod
-    def retry(cls, max_attempts: int = 3) -> "FailurePolicy":
-        """Retry with deterministic reseeding, then skip."""
-        return cls(mode=RETRY, max_attempts=max_attempts)
+    def retry(cls, max_attempts: int = 3, **backoff_kwargs) -> "FailurePolicy":
+        """Retry with deterministic reseeding (and optional backoff), then skip."""
+        return cls(mode=RETRY, max_attempts=max_attempts, **backoff_kwargs)
 
     @property
     def attempts(self) -> int:
         """Fit attempts per (trial, algorithm) under this policy."""
         return self.max_attempts if self.mode == RETRY else 1
+
+    def delay_before(self, attempt: int, seed: int) -> float:
+        """Seconds to pause before retry ``attempt`` (0 for attempt 0).
+
+        Deterministic: a pure function of the policy's backoff fields,
+        the attempt index and the fit's base seed.
+        """
+        if attempt < 1 or self.backoff_base <= 0:
+            return 0.0
+        return backoff_delay(
+            attempt,
+            base=self.backoff_base,
+            factor=self.backoff_factor,
+            max_delay=self.backoff_max,
+            jitter=self.backoff_jitter,
+            seed=seed,
+        )
 
 
 @dataclass(frozen=True)
@@ -125,7 +179,9 @@ def retry_seed(base_seed: int, attempt: int) -> int:
 
 __all__ = [
     "ACTION_RETRIED",
+    "ACTION_SHORT_CIRCUITED",
     "ACTION_SKIPPED",
+    "ACTION_TIMED_OUT",
     "FAIL_FAST",
     "FailurePolicy",
     "RETRY",

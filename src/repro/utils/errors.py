@@ -46,3 +46,48 @@ class ConvergenceError(ReproError):
         super().__init__(message)
         self.iterations = iterations
         self.residual = residual
+
+
+class DeadlineExceeded(ReproError):
+    """A supervised computation ran past its cooperative deadline.
+
+    Raised by long-running loops (EM iterations, Gibbs sweeps, Gray-code
+    enumeration) when a :class:`repro.resilience.supervisor.Deadline`
+    expires.  Carries structured partial-progress information so the
+    caller — typically :func:`repro.bounds.cascade.bound_cascade` — can
+    degrade gracefully instead of losing the work silently.
+
+    Attributes
+    ----------
+    context:
+        Name of the loop that hit the deadline (e.g. ``"gibbs-sweep"``).
+    elapsed_seconds / budget_seconds:
+        Wall-clock spent vs. the configured budget.
+    progress:
+        Loop-specific partial-progress payload (iteration counts,
+        running estimates, pattern counts, ...).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        context: str = "",
+        elapsed_seconds: float = 0.0,
+        budget_seconds: float = 0.0,
+        progress: dict = None,
+    ):
+        super().__init__(message)
+        self.context = context
+        self.elapsed_seconds = elapsed_seconds
+        self.budget_seconds = budget_seconds
+        self.progress = dict(progress) if progress else {}
+
+
+class CircuitOpenError(ReproError):
+    """A call was refused because its circuit breaker is open.
+
+    Raised (or recorded as a ledger entry) when a
+    :class:`repro.resilience.supervisor.CircuitBreaker` has tripped for
+    a consistently-failing operation and the cooldown has not elapsed.
+    """

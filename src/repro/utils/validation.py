@@ -65,15 +65,26 @@ def check_positive_int(value: int, name: str) -> int:
 
     Booleans are rejected even though ``bool`` is an ``int`` subtype —
     ``n_iterations=True`` is always a caller bug, not a count of 1.
+    NumPy booleans (``np.True_``) are rejected for the same reason:
+    they are *not* ``bool`` subclasses, so an ``isinstance(value, bool)``
+    check alone lets them slip through as a count of 1.
     """
-    if isinstance(value, bool) or int(value) != value or value <= 0:
+    if (
+        isinstance(value, (bool, np.bool_))
+        or int(value) != value
+        or value <= 0
+    ):
         raise ValidationError(f"{name} must be a positive integer, got {value!r}")
     return int(value)
 
 
 def check_nonnegative_int(value: int, name: str) -> int:
     """Validate a non-negative integer (booleans rejected, as above)."""
-    if isinstance(value, bool) or int(value) != value or value < 0:
+    if (
+        isinstance(value, (bool, np.bool_))
+        or int(value) != value
+        or value < 0
+    ):
         raise ValidationError(f"{name} must be a non-negative integer, got {value!r}")
     return int(value)
 

@@ -11,9 +11,11 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.bounds import exact_bound
 from repro.bounds.gibbs import GibbsConfig
 from repro.core.model import DEFAULT_EPSILON, SourceParameters
 from repro.kernels.dedup import group_columns, group_paired_columns, unique_columns
+from repro.kernels.enumeration import table_bytes_estimate
 from repro.kernels.likelihood import (
     claim_codes,
     dense_column_log_likelihoods,
@@ -25,7 +27,12 @@ from repro.kernels.tables import (
     LogParameterTables,
     ParamsKeyedCache,
 )
-from repro.utils.errors import ValidationError
+from repro.resilience import Deadline
+from repro.utils.errors import (
+    DeadlineExceeded,
+    MemoryBudgetError,
+    ValidationError,
+)
 
 
 def _random_binary(shape, seed, density=0.5):
@@ -218,3 +225,54 @@ class TestGibbsConfigValidation:
     def test_sweep_ordering_enforced(self):
         with pytest.raises(ValidationError):
             GibbsConfig(min_sweeps=100, max_sweeps=50)
+
+
+class TestEnumerationBudgets:
+    """Deadline/memory supervision of the Gray-code enumeration kernel."""
+
+    def _case(self, n=8, k=3, seed=42):
+        dependency = _random_binary((n, k), seed=seed, density=0.4)
+        params = SourceParameters.random(n, seed=seed, informative=True).clamp(
+            1e-4
+        )
+        return dependency, params
+
+    def test_generous_deadline_is_bit_transparent(self):
+        dependency, params = self._case()
+        plain = exact_bound(dependency, params)
+        budgeted = exact_bound(dependency, params, deadline=Deadline.after(3600))
+        assert budgeted.total == plain.total
+        assert budgeted.false_positive == plain.false_positive
+        assert budgeted.false_negative == plain.false_negative
+
+    def test_expired_deadline_raises_with_pattern_progress(self):
+        dependency, params = self._case()
+        deadline = Deadline.after(1e-4)
+        while not deadline.expired():
+            pass
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            exact_bound(dependency, params, deadline=deadline)
+        assert "patterns_total" in excinfo.value.progress
+
+    def test_memory_budget_guards_the_low_table_upfront(self):
+        dependency, params = self._case()
+        with pytest.raises(MemoryBudgetError) as excinfo:
+            exact_bound(
+                dependency,
+                params,
+                deadline=Deadline.unlimited(memory_bytes=64),
+            )
+        assert excinfo.value.budget_bytes == 64
+        # A budget covering the estimate succeeds.
+        roomy = table_bytes_estimate(dependency.shape[0], dependency.shape[1])
+        result = exact_bound(
+            dependency,
+            params,
+            deadline=Deadline.unlimited(memory_bytes=2 * roomy),
+        )
+        assert result.total == exact_bound(dependency, params).total
+
+    def test_table_bytes_estimate_grows_with_the_problem(self):
+        assert table_bytes_estimate(8, 1) > 0
+        assert table_bytes_estimate(20, 4) >= table_bytes_estimate(20, 1)
+        assert table_bytes_estimate(24, 2) >= table_bytes_estimate(20, 2)

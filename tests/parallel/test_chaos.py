@@ -135,3 +135,115 @@ class TestTimeoutGuard:
         # Far less than the 600 s the worker wanted to sleep.
         assert time.monotonic() - start < 60.0
         assert _reap_children() == []
+
+
+def _wedge_task_two(task):
+    if task == 2:
+        time.sleep(600)
+    return task * task
+
+
+def _wedge_once(payload):
+    """Wedge on task 2 the *first* time only (a cross-process file flag)."""
+    value, flag_path = payload
+    if value == 2 and not os.path.exists(flag_path):
+        open(flag_path, "w").close()
+        time.sleep(600)
+    return value * value
+
+
+class TestWedgeResubmission:
+    def test_transient_wedge_is_resubmitted_and_recovers(self, tmp_path):
+        flag = str(tmp_path / "wedged-once")
+        config = ParallelConfig(n_jobs=2, timeout_seconds=2.0, max_resubmits=2)
+        start = time.monotonic()
+        results = list(
+            parallel_imap(
+                _wedge_once, [(i, flag) for i in range(6)], config=config
+            )
+        )
+        # The wedged chunk was killed, resubmitted and completed — the
+        # full result set arrives with nothing lost.
+        assert results == [i * i for i in range(6)]
+        assert time.monotonic() - start < 60.0
+        assert os.path.exists(flag)
+        assert _reap_children() == []
+
+    def test_exhausted_resubmissions_carry_forensic_context(self):
+        config = ParallelConfig(n_jobs=2, timeout_seconds=1.5, max_resubmits=1)
+        start = time.monotonic()
+        with pytest.raises(WorkerTimeoutError) as excinfo:
+            list(parallel_imap(_wedge_task_two, range(6), config=config))
+        error = excinfo.value
+        assert error.chunk_index == 2
+        assert error.task_indices == (2,)
+        assert error.n_resubmits == 1
+        assert error.elapsed_seconds > 0.0
+        assert "terminated" in str(error)
+        assert time.monotonic() - start < 60.0
+        assert _reap_children() == []
+
+    def test_on_timeout_hook_degrades_instead_of_aborting(self):
+        config = ParallelConfig(n_jobs=2, timeout_seconds=1.5)
+        seen = []
+
+        def substitute(index, task, error):
+            seen.append((index, task, error.chunk_index))
+            return -1
+
+        start = time.monotonic()
+        results = list(
+            parallel_imap(
+                _wedge_task_two, range(6), config=config, on_timeout=substitute
+            )
+        )
+        assert results == [0, 1, -1, 9, 16, 25]
+        assert seen == [(2, 2, 2)]
+        assert time.monotonic() - start < 60.0
+        assert _reap_children() == []
+
+
+class _WedgingFinder:
+    """Hangs forever on even trial seeds — the harness must not."""
+
+    algorithm_name = "wedging-finder"
+    accepts_trial_seed = True
+
+    def __init__(self, seed=None, **_kwargs):
+        self._seed = seed
+
+    def fit(self, problem):
+        if self._seed % 2 == 0:
+            time.sleep(600)
+        return make_fact_finder("em", seed=self._seed).fit(problem)
+
+
+@needs_fork
+class TestHarnessWedgeDegradation:
+    def test_wedged_trials_become_timed_out_ledger_entries(self):
+        from repro.resilience.policy import ACTION_TIMED_OUT
+
+        start = time.monotonic()
+        with temporary_algorithm(_WedgingFinder) as name:
+            result = run_simulation(
+                CONFIG,
+                algorithms=("em", name),
+                n_trials=4,
+                seed=42,
+                include_optimal=False,
+                failure_policy=FailurePolicy.skip(),
+                parallel=ParallelConfig(
+                    n_jobs=N_JOBS, start_method="fork", timeout_seconds=4.0
+                ),
+            )
+        assert time.monotonic() - start < GUARD_SECONDS
+        timed_out = [f for f in result.failures if f.action == ACTION_TIMED_OUT]
+        assert timed_out, "at least one trial must have wedged"
+        assert all(f.error_type == "WorkerTimeoutError" for f in timed_out)
+        assert all("wedged worker" in f.message for f in timed_out)
+        # One ledger entry per co-scheduled algorithm of each lost trial.
+        lost_trials = {f.trial for f in timed_out}
+        assert len(timed_out) == 2 * len(lost_trials)
+        # The surviving trials completed for every algorithm.
+        assert len(result.series["em"].accuracy) == 4 - len(lost_trials)
+        assert _reap_children() == []

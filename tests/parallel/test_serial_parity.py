@@ -290,3 +290,43 @@ class TestCheckpointResumeParity:
             _SeedBomb.armed = True
         assert _series_dict(resumed) == _series_dict(uninterrupted)
         assert resumed.failures == uninterrupted.failures == []
+
+
+def _square(x):
+    return x * x
+
+
+class TestSupervisedExecutorParity:
+    """The heartbeat-supervised path must change *when*, never *what*."""
+
+    def test_supervised_imap_matches_plain_results(self):
+        from repro.parallel import parallel_map
+
+        tasks = list(range(17))
+        plain = parallel_map(_square, tasks, config=ParallelConfig(n_jobs=N_JOBS))
+        supervised = parallel_map(
+            _square,
+            tasks,
+            config=ParallelConfig(
+                n_jobs=N_JOBS, timeout_seconds=120.0, max_resubmits=2
+            ),
+        )
+        assert supervised == plain == [x * x for x in tasks]
+
+    def test_supervised_harness_run_is_bit_identical_to_serial(self):
+        kwargs = dict(
+            algorithms=("em", "em-ext"),
+            n_trials=4,
+            seed=77,
+            include_optimal=True,
+        )
+        serial = run_simulation(CONFIG, **kwargs)
+        supervised = run_simulation(
+            CONFIG,
+            parallel=ParallelConfig(
+                n_jobs=N_JOBS, timeout_seconds=120.0, max_resubmits=2
+            ),
+            **kwargs,
+        )
+        assert _series_dict(serial) == _series_dict(supervised)
+        assert serial.failures == supervised.failures == []

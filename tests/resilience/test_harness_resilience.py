@@ -6,13 +6,15 @@ import pytest
 from repro.baselines import make_fact_finder
 from repro.engine import TelemetryRecorder
 from repro.eval import run_simulation, summarize_telemetry
+from repro.parallel import ParallelConfig
 from repro.resilience import (
+    BreakerConfig,
     FailurePolicy,
     InjectedFault,
     chaos_finder,
     temporary_algorithm,
 )
-from repro.resilience.policy import retry_seed
+from repro.resilience.policy import ACTION_SHORT_CIRCUITED, retry_seed
 from repro.synthetic import GeneratorConfig
 from repro.utils.errors import ValidationError
 
@@ -198,3 +200,81 @@ class TestNonFiniteScoresArePolicyFailures:
             )
         assert result.series[name].accuracy == []
         assert {f.error_type for f in result.failures} == {"DataError"}
+
+
+class TestCircuitBreakerInHarness:
+    def test_persistent_failures_trip_into_short_circuits(self):
+        # The chaos algorithm fails every fit; with a 2-call window the
+        # breaker trips early and later trials are refused without even
+        # attempting the fit.
+        with temporary_algorithm(
+            _chaos(fail_fits=tuple(range(50)), name="always-boom")
+        ) as name:
+            result = run_simulation(
+                CONFIG,
+                algorithms=("em", name),
+                n_trials=8,
+                seed=42,
+                include_optimal=False,
+                failure_policy=FailurePolicy.skip(),
+                breaker_config=BreakerConfig(
+                    failure_threshold=0.5, window=2, min_calls=2, cooldown_calls=3
+                ),
+            )
+        counts = result.failure_counts()[name]
+        assert counts.get("short_circuited", 0) > 0
+        assert counts.get("skipped", 0) >= 2
+        refused = [f for f in result.failures if f.action == ACTION_SHORT_CIRCUITED]
+        assert all(f.error_type == "CircuitOpenError" for f in refused)
+        # The healthy co-scheduled algorithm is untouched by the breaker.
+        assert len(result.series["em"].accuracy) == 8
+        assert result.failure_counts().get("em") is None
+
+    def test_breaker_is_transparent_for_healthy_algorithms(self):
+        kwargs = dict(
+            algorithms=("em",), n_trials=4, seed=7, include_optimal=False
+        )
+        plain = run_simulation(CONFIG, **kwargs)
+        guarded = run_simulation(CONFIG, breaker_config=BreakerConfig(), **kwargs)
+        assert plain.series["em"].accuracy == guarded.series["em"].accuracy
+        assert guarded.failures == []
+
+    def test_breaker_requires_the_serial_path(self):
+        # Breaker state spans trials; a pooled run would fork it per
+        # worker and silently diverge, so the combination is rejected.
+        with pytest.raises(ValidationError, match="breaker"):
+            run_simulation(
+                CONFIG,
+                algorithms=("em",),
+                n_trials=2,
+                seed=1,
+                include_optimal=False,
+                breaker_config=BreakerConfig(),
+                parallel=ParallelConfig(n_jobs=2),
+            )
+
+
+class TestCascadeBoundInHarness:
+    def test_deadlined_optimal_bound_matches_the_plain_one(self):
+        # On these tiny problems the cascade's exact tier always fits a
+        # 30 s budget, so the deadline-aware path must be bit-identical.
+        kwargs = dict(
+            algorithms=("em",), n_trials=3, seed=11, include_optimal=True
+        )
+        plain = run_simulation(CONFIG, **kwargs)
+        deadlined = run_simulation(CONFIG, bound_deadline_seconds=30.0, **kwargs)
+        assert plain.series["optimal"].accuracy == deadlined.series["optimal"].accuracy
+        assert (
+            plain.series["optimal"].false_positive_rate
+            == deadlined.series["optimal"].false_positive_rate
+        )
+
+    def test_bound_deadline_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            run_simulation(
+                CONFIG,
+                algorithms=("em",),
+                n_trials=1,
+                seed=1,
+                bound_deadline_seconds=0.0,
+            )

@@ -1,0 +1,288 @@
+"""Unit coverage of the supervision primitives.
+
+:class:`Deadline` is threaded through every long-running loop in the
+library, so its contract — no-op without a budget, structured
+:class:`DeadlineExceeded` with partial progress when it fires,
+picklable across workers — is load-bearing for everything above it.
+The backoff and breaker primitives are pure call-counted state machines
+by design; these tests pin the determinism that design buys.
+"""
+
+import pickle
+import time
+
+import numpy as np
+import pytest
+
+from repro.resilience import (
+    BreakerConfig,
+    CircuitBreaker,
+    Deadline,
+    FailurePolicy,
+    backoff_delay,
+    parse_timespan,
+)
+from repro.resilience.supervisor import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+)
+from repro.utils.errors import (
+    CircuitOpenError,
+    DeadlineExceeded,
+    MemoryBudgetError,
+    ValidationError,
+)
+
+
+class TestDeadlineValidation:
+    @pytest.mark.parametrize("bad", [0, -1, -0.5, True, "5s", [5]])
+    def test_rejects_non_positive_and_non_number_seconds(self, bad):
+        with pytest.raises(ValidationError):
+            Deadline(bad)
+
+    @pytest.mark.parametrize("bad", [0, -1, 2.5, True, np.True_, "1G"])
+    def test_rejects_bad_memory_budgets(self, bad):
+        with pytest.raises(ValidationError):
+            Deadline.unlimited(memory_bytes=bad)
+
+    def test_numpy_scalars_accepted(self):
+        deadline = Deadline(np.float64(5.0), memory_bytes=np.int64(1024))
+        assert deadline.budget_seconds == 5.0
+        assert deadline.memory_bytes == 1024
+
+
+class TestDeadlineClock:
+    def test_unlimited_never_expires_and_check_is_noop(self):
+        deadline = Deadline.unlimited()
+        assert not deadline.expired()
+        assert deadline.remaining() == float("inf")
+        deadline.check("anything", iteration=3)  # must not raise
+
+    def test_expiry_and_remaining_floor(self):
+        deadline = Deadline.after(0.005)
+        time.sleep(0.02)
+        assert deadline.expired()
+        assert deadline.remaining() == 0.0
+        assert deadline.elapsed() >= 0.005
+
+    def test_check_raises_with_structured_progress(self):
+        deadline = Deadline.after(0.001)
+        time.sleep(0.01)
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            deadline.check("unit-loop", iteration=7, delta=0.25)
+        error = excinfo.value
+        assert error.context == "unit-loop"
+        assert error.progress == {"iteration": 7, "delta": 0.25}
+        assert error.budget_seconds == 0.001
+        assert error.elapsed_seconds >= 0.001
+        assert "unit-loop" in str(error)
+
+    def test_check_memory_noop_without_budget(self):
+        Deadline.after(60).check_memory(10**15, "huge table")  # must not raise
+
+    def test_check_memory_raises_with_byte_counts(self):
+        deadline = Deadline.unlimited(memory_bytes=1024)
+        deadline.check_memory(512, "small table")  # fits
+        with pytest.raises(MemoryBudgetError) as excinfo:
+            deadline.check_memory(4096, "big table")
+        assert excinfo.value.required_bytes == 4096
+        assert excinfo.value.budget_bytes == 1024
+
+    def test_picklable_with_budget_preserved(self):
+        # Workers must inherit the parent's *remaining* budget:
+        # time.monotonic is system-wide, so shipping started_at works.
+        deadline = Deadline.after(60, memory_bytes=2048)
+        clone = pickle.loads(pickle.dumps(deadline))
+        assert clone.budget_seconds == 60.0
+        assert clone.memory_bytes == 2048
+        assert clone.started_at == deadline.started_at
+        assert not clone.expired()
+
+
+class TestParseTimespan:
+    @pytest.mark.parametrize(
+        "spec, seconds",
+        [
+            ("500ms", 0.5),
+            ("5s", 5.0),
+            ("2m", 120.0),
+            ("1.5h", 5400.0),
+            ("30", 30.0),
+            (" 10 s ", 10.0),
+        ],
+    )
+    def test_valid_specs(self, spec, seconds):
+        assert parse_timespan(spec) == pytest.approx(seconds)
+
+    @pytest.mark.parametrize("spec", ["", "abc", "-5s", "5d", "0s", "0", "s5"])
+    def test_invalid_specs_rejected(self, spec):
+        with pytest.raises(ValidationError):
+            parse_timespan(spec)
+
+
+class TestBackoffDelay:
+    def test_zero_base_disables_backoff(self):
+        assert backoff_delay(3, base=0.0) == 0.0
+        assert backoff_delay(1, base=-1.0) == 0.0
+
+    def test_bad_attempt_rejected_when_active(self):
+        with pytest.raises(ValidationError):
+            backoff_delay(0, base=0.5)
+
+    def test_pure_function_of_inputs(self):
+        kwargs = dict(base=0.5, factor=2.0, max_delay=10.0, jitter=0.1, seed=99)
+        assert backoff_delay(3, **kwargs) == backoff_delay(3, **kwargs)
+
+    def test_without_jitter_exact_exponential(self):
+        for attempt in (1, 2, 3, 4):
+            expected = min(30.0, 0.25 * 2.0 ** (attempt - 1))
+            assert backoff_delay(attempt, base=0.25, jitter=0.0) == expected
+
+    def test_jitter_stays_within_band(self):
+        for attempt in (1, 2, 5):
+            for seed in (0, 7, 12345):
+                nominal = min(30.0, 1.0 * 2.0 ** (attempt - 1))
+                delay = backoff_delay(attempt, base=1.0, jitter=0.2, seed=seed)
+                assert nominal * 0.8 <= delay <= nominal * 1.2
+
+    def test_cap_applies_before_jitter(self):
+        delay = backoff_delay(30, base=1.0, max_delay=5.0, jitter=0.1, seed=3)
+        assert delay <= 5.0 * 1.1
+
+    def test_seed_decorrelates_retry_storms(self):
+        delays = {backoff_delay(2, base=1.0, jitter=0.5, seed=s) for s in range(8)}
+        assert len(delays) > 1
+
+
+class TestBreakerConfig:
+    def test_defaults_valid(self):
+        config = BreakerConfig()
+        assert config.failure_threshold == 0.5
+
+    @pytest.mark.parametrize("threshold", [0.0, -0.1, 1.5])
+    def test_threshold_bounds(self, threshold):
+        with pytest.raises(ValidationError):
+            BreakerConfig(failure_threshold=threshold)
+
+    @pytest.mark.parametrize("field", ["window", "min_calls", "cooldown_calls"])
+    @pytest.mark.parametrize("bad", [0, -1, 2.5, True, np.True_])
+    def test_counts_reject_non_positive_and_bools(self, field, bad):
+        with pytest.raises(ValidationError):
+            BreakerConfig(**{field: bad})
+
+
+class TestCircuitBreaker:
+    def test_needs_min_calls_before_tripping(self):
+        breaker = CircuitBreaker(BreakerConfig(min_calls=4))
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == BREAKER_CLOSED
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == BREAKER_OPEN
+        assert breaker.n_trips == 1
+
+    def test_mixed_outcomes_below_threshold_stay_closed(self):
+        breaker = CircuitBreaker(BreakerConfig(failure_threshold=0.5, window=8))
+        for _ in range(6):
+            breaker.record_success()
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == BREAKER_CLOSED
+        assert breaker.failure_rate == pytest.approx(0.25)
+
+    def _tripped(self):
+        breaker = CircuitBreaker(BreakerConfig(min_calls=2, cooldown_calls=3))
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == BREAKER_OPEN
+        return breaker
+
+    def test_cooldown_is_counted_in_refused_calls(self):
+        breaker = self._tripped()
+        # cooldown_calls=3: two refusals, then the third becomes the probe.
+        assert not breaker.allow()
+        assert not breaker.allow()
+        assert breaker.n_short_circuits == 2
+        assert breaker.allow()
+        assert breaker.state == BREAKER_HALF_OPEN
+
+    def test_half_open_probe_success_closes_and_clears(self):
+        breaker = self._tripped()
+        while not breaker.allow():
+            pass
+        breaker.record_success()
+        assert breaker.state == BREAKER_CLOSED
+        assert breaker.failure_rate == 0.0
+
+    def test_half_open_probe_failure_reopens(self):
+        breaker = self._tripped()
+        while not breaker.allow():
+            pass
+        breaker.record_failure()
+        assert breaker.state == BREAKER_OPEN
+        assert breaker.n_trips == 2
+
+    def test_refused_call_error_is_descriptive(self):
+        breaker = self._tripped()
+        assert not breaker.allow()
+        error = breaker.call_refused_error("algorithm 'em'")
+        assert isinstance(error, CircuitOpenError)
+        assert "circuit breaker open" in str(error)
+        assert "algorithm 'em'" in str(error)
+
+    def test_snapshot_is_json_friendly(self):
+        breaker = self._tripped()
+        snapshot = breaker.snapshot()
+        assert snapshot["state"] == BREAKER_OPEN
+        assert snapshot["n_trips"] == 1
+        assert set(snapshot) == {
+            "state",
+            "failure_rate",
+            "n_trips",
+            "n_short_circuits",
+        }
+
+
+class TestFailurePolicyBackoff:
+    def test_defaults_keep_immediate_retry(self):
+        policy = FailurePolicy.retry(3)
+        assert policy.backoff_base == 0.0
+        assert policy.delay_before(2, seed=42) == 0.0
+
+    def test_attempt_zero_never_delays(self):
+        policy = FailurePolicy.retry(3, backoff_base=1.0)
+        assert policy.delay_before(0, seed=42) == 0.0
+
+    def test_delay_matches_backoff_delay(self):
+        policy = FailurePolicy.retry(
+            4, backoff_base=0.5, backoff_factor=3.0, backoff_max=9.0,
+            backoff_jitter=0.2,
+        )
+        for attempt in (1, 2, 3):
+            assert policy.delay_before(attempt, seed=7) == backoff_delay(
+                attempt, base=0.5, factor=3.0, max_delay=9.0, jitter=0.2, seed=7
+            )
+
+    def test_numpy_bool_attempt_budget_rejected(self):
+        # np.True_ is not a ``bool`` subclass; the historical isinstance
+        # check accepted it as max_attempts=1.
+        with pytest.raises(ValidationError):
+            FailurePolicy.retry(np.True_)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"backoff_base": -0.1},
+            {"backoff_base": True},
+            {"backoff_factor": 0.5},
+            {"backoff_max": -1.0},
+            {"backoff_jitter": 1.0},
+            {"backoff_jitter": -0.1},
+            {"backoff_base": "fast"},
+        ],
+    )
+    def test_backoff_fields_validated(self, kwargs):
+        with pytest.raises(ValidationError):
+            FailurePolicy.retry(3, **kwargs)
