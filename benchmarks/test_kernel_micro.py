@@ -33,6 +33,7 @@ import time
 import numpy as np
 import pytest
 
+from repro import observability
 from repro.bounds import GibbsConfig, exact_bound, gibbs_bound
 from repro.core.em_ext import EMConfig
 from repro.core.model import SourceParameters
@@ -230,10 +231,14 @@ def _enforce_baseline(rows):
 
 def test_kernel_micro_writes_bench_json():
     rows = {}
-    _bench_gibbs(rows)
-    _bench_exact(rows)
-    _bench_engine_steps(rows)
-    _bench_fits(rows)
+    # Collect the run's own metrics (cache hit rates, sweep counts,
+    # dedup ratios) alongside the timings — the snapshot rides along in
+    # the report under "metrics".
+    with observability.observe(root_name="bench.kernels") as session:
+        _bench_gibbs(rows)
+        _bench_exact(rows)
+        _bench_engine_steps(rows)
+        _bench_fits(rows)
 
     report = {
         "experiment": "optimised kernels vs frozen pre-optimisation code",
@@ -257,6 +262,7 @@ def test_kernel_micro_writes_bench_json():
         "machine": machine_info(),
         "kernels": rows,
         "speedups": {name: row["speedup"] for name, row in rows.items()},
+        "metrics": session.metrics_dict(),
     }
     out_path = os.environ.get("REPRO_BENCH_OUT", _DEFAULT_OUT)
     with open(out_path, "w") as handle:

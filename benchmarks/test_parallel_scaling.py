@@ -17,6 +17,7 @@ import time
 
 import pytest
 
+from repro import observability
 from repro.eval import machine_info, run_simulation
 from repro.parallel import ParallelConfig, cpu_count
 from repro.synthetic import GeneratorConfig
@@ -75,15 +76,19 @@ def test_parallel_scaling_writes_bench_json():
     ]
     timings = {}
     reference = None
-    for label, parallel in variants:
-        seconds, result = _timed_run(parallel)
-        timings[label] = seconds
-        if reference is None:
-            reference = _series_dict(result)
-        else:
-            # The scaling exhibit is only meaningful because every row
-            # computes the *identical* result.
-            assert _series_dict(result) == reference, label
+    # One observability session over the whole exhibit: the snapshot
+    # (merged across all variants, including the fan-out workers')
+    # rides along in the report under "metrics".
+    with observability.observe(root_name="bench.parallel") as session:
+        for label, parallel in variants:
+            seconds, result = _timed_run(parallel)
+            timings[label] = seconds
+            if reference is None:
+                reference = _series_dict(result)
+            else:
+                # The scaling exhibit is only meaningful because every
+                # row computes the *identical* result.
+                assert _series_dict(result) == reference, label
 
     serial_seconds = timings["serial"]
     report = {
@@ -102,6 +107,7 @@ def test_parallel_scaling_writes_bench_json():
             k: round(serial_seconds / v, 3) for k, v in timings.items()
         },
         "parity": "all variants produced bit-identical series",
+        "metrics": session.metrics_dict(),
     }
     out_path = os.environ.get("REPRO_BENCH_OUT", _DEFAULT_OUT)
     with open(out_path, "w") as handle:

@@ -40,6 +40,7 @@ from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
+from repro import observability
 from repro.bounds.analytic import bhattacharyya_bounds
 from repro.bounds.exact import (
     MAX_EXACT_SOURCES,
@@ -129,6 +130,18 @@ class DegradationReport:
             for a in self.attempts
         ]
         return f"tier={self.tier} requested={self.requested}: " + "; ".join(parts)
+
+
+def _record_attempt(attempts: list, attempt: TierAttempt) -> None:
+    """Append a tier attempt and mirror it into the metrics registry.
+
+    The ``cascade.attempts.<tier>.<status>`` counters are incremented
+    at exactly the points :class:`TierAttempt` records are created, so
+    a :class:`DegradationReport` and the registry can never disagree
+    (pinned in ``tests/observability/test_ledger_agreement.py``).
+    """
+    attempts.append(attempt)
+    observability.count(f"cascade.attempts.{attempt.tier}.{attempt.status}")
 
 
 @dataclass(frozen=True)
@@ -297,79 +310,93 @@ def bound_cascade(
         else ("gibbs" if n is not None else "analytic")
     )
 
-    attempts = []
-    for tier in CASCADE_TIERS:
-        skip_reason = _skip_reason(tier, n, k, size_error, deadline)
-        if skip_reason:
-            attempts.append(TierAttempt(tier=tier, status="skipped", reason=skip_reason))
-            continue
-        started = time.monotonic()
-        try:
-            bound = tier_runners[tier](
-                dependency, params, deadline=deadline, config=config, seed=seed
-            )
-        except DeadlineExceeded as error:
-            attempts.append(
-                TierAttempt(
-                    tier=tier,
-                    status="failed",
-                    reason=f"deadline exceeded in {error.context or tier}",
-                    elapsed_seconds=time.monotonic() - started,
+    attempts: list = []
+    with observability.span("bound.cascade", requested=requested):
+        for tier in CASCADE_TIERS:
+            skip_reason = _skip_reason(tier, n, k, size_error, deadline)
+            if skip_reason:
+                _record_attempt(
+                    attempts,
+                    TierAttempt(tier=tier, status="skipped", reason=skip_reason),
                 )
-            )
-            continue
-        except MemoryBudgetError as error:
-            attempts.append(
-                TierAttempt(
-                    tier=tier,
-                    status="failed",
-                    reason=f"memory budget: {error}",
-                    elapsed_seconds=time.monotonic() - started,
+                continue
+            started = time.monotonic()
+            with observability.span("cascade.tier", tier=tier):
+                try:
+                    bound = tier_runners[tier](
+                        dependency, params, deadline=deadline, config=config, seed=seed
+                    )
+                except DeadlineExceeded as error:
+                    _record_attempt(
+                        attempts,
+                        TierAttempt(
+                            tier=tier,
+                            status="failed",
+                            reason=f"deadline exceeded in {error.context or tier}",
+                            elapsed_seconds=time.monotonic() - started,
+                        ),
+                    )
+                    continue
+                except MemoryBudgetError as error:
+                    _record_attempt(
+                        attempts,
+                        TierAttempt(
+                            tier=tier,
+                            status="failed",
+                            reason=f"memory budget: {error}",
+                            elapsed_seconds=time.monotonic() - started,
+                        ),
+                    )
+                    continue
+                except Exception as error:
+                    _record_attempt(
+                        attempts,
+                        TierAttempt(
+                            tier=tier,
+                            status="failed",
+                            reason=f"{type(error).__name__}: {error}",
+                            elapsed_seconds=time.monotonic() - started,
+                        ),
+                    )
+                    continue
+            elapsed = time.monotonic() - started
+            if not np.isfinite(bound.total):
+                _record_attempt(
+                    attempts,
+                    TierAttempt(
+                        tier=tier,
+                        status="failed",
+                        reason=f"non-finite bound {bound.total!r}",
+                        elapsed_seconds=elapsed,
+                    ),
                 )
+                continue
+            _record_attempt(
+                attempts, TierAttempt(tier=tier, status="ok", elapsed_seconds=elapsed)
             )
-            continue
-        except Exception as error:
-            attempts.append(
-                TierAttempt(
-                    tier=tier,
-                    status="failed",
-                    reason=f"{type(error).__name__}: {error}",
-                    elapsed_seconds=time.monotonic() - started,
-                )
+            return CascadeOutcome(
+                bound=bound,
+                report=DegradationReport(
+                    requested=requested, tier=tier, attempts=tuple(attempts)
+                ),
             )
-            continue
-        elapsed = time.monotonic() - started
-        if not np.isfinite(bound.total):
-            attempts.append(
-                TierAttempt(
-                    tier=tier,
-                    status="failed",
-                    reason=f"non-finite bound {bound.total!r}",
-                    elapsed_seconds=elapsed,
-                )
-            )
-            continue
-        attempts.append(TierAttempt(tier=tier, status="ok", elapsed_seconds=elapsed))
+
+        # Every tier failed — even the sanitised analytic runner
+        # (possible only via an injected runner).  Fall back to the
+        # prior floor so the cascade keeps its always-answers contract.
+        bound = _prior_floor(params)
+        _record_attempt(
+            attempts,
+            TierAttempt(
+                tier="analytic", status="ok", reason="prior floor min(z, 1-z)"
+            ),
+        )
         return CascadeOutcome(
             bound=bound,
             report=DegradationReport(
-                requested=requested, tier=tier, attempts=tuple(attempts)
+                requested=requested, tier="analytic", attempts=tuple(attempts)
             ),
         )
-
-    # Every tier failed — even the sanitised analytic runner (possible
-    # only via an injected runner).  Fall back to the prior floor so
-    # the cascade keeps its always-answers contract.
-    bound = _prior_floor(params)
-    attempts.append(
-        TierAttempt(tier="analytic", status="ok", reason="prior floor min(z, 1-z)")
-    )
-    return CascadeOutcome(
-        bound=bound,
-        report=DegradationReport(
-            requested=requested, tier="analytic", attempts=tuple(attempts)
-        ),
-    )
 
 
 def _skip_reason(

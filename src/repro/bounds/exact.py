@@ -33,6 +33,7 @@ from repro.core.model import SourceParameters
 from repro.data.coerce import as_dependency_array
 from repro.kernels.dedup import unique_columns
 from repro.kernels.enumeration import gray_pattern_masses, pattern_block
+from repro.observability import span
 from repro.utils.errors import ValidationError
 
 if TYPE_CHECKING:  # deferred to keep the bounds import-light
@@ -151,22 +152,24 @@ def exact_column_bound(
             f"exact bound needs 2^{n} pattern evaluations; refusing n > "
             f"{MAX_EXACT_SOURCES}. Use gibbs_column_bound instead."
         )
-    if _is_degenerate(rate_true, rate_false):
-        return _degenerate_column_bound(
-            rate_true, rate_false, params.z, deadline=deadline
+    degenerate = _is_degenerate(rate_true, rate_false)
+    with span("bound.exact_column", n_sources=n, degenerate=degenerate):
+        if degenerate:
+            return _degenerate_column_bound(
+                rate_true, rate_false, params.z, deadline=deadline
+            )
+        with np.errstate(divide="ignore"):
+            log_z, log_1z = np.log(params.z), np.log1p(-params.z)
+        fp_mass, fn_mass = gray_pattern_masses(
+            np.log(rate_true)[:, None],
+            np.log1p(-rate_true)[:, None],
+            np.log(rate_false)[:, None],
+            np.log1p(-rate_false)[:, None],
+            log_z,
+            log_1z,
+            deadline=deadline,
         )
-    with np.errstate(divide="ignore"):
-        log_z, log_1z = np.log(params.z), np.log1p(-params.z)
-    fp_mass, fn_mass = gray_pattern_masses(
-        np.log(rate_true)[:, None],
-        np.log1p(-rate_true)[:, None],
-        np.log(rate_false)[:, None],
-        np.log1p(-rate_false)[:, None],
-        log_z,
-        log_1z,
-        deadline=deadline,
-    )
-    return _masses_to_result(float(fp_mass[0]), float(fn_mass[0]))
+        return _masses_to_result(float(fp_mass[0]), float(fn_mass[0]))
 
 
 def _degenerate_column_bound(
@@ -269,43 +272,46 @@ def exact_bound(
             f"{MAX_EXACT_SOURCES}. Use gibbs_bound instead."
         )
     k = unique_cols.shape[0]
-    rate_true = np.empty((n, k))
-    rate_false = np.empty((n, k))
-    degenerate = False
-    for index, column in enumerate(unique_cols):
-        rate_true[:, index], rate_false[:, index] = _emission_rates(column, params)
-        degenerate = degenerate or _is_degenerate(
-            rate_true[:, index], rate_false[:, index]
-        )
-    if degenerate:
-        # Rare corner (rates exactly 0/1): fall back to the careful
-        # per-column path that handles impossible patterns explicitly.
-        total = fp = fn = 0.0
-        m = dep.shape[1]
-        for column, count in zip(unique_cols, counts):
-            result = exact_column_bound(column, params, deadline=deadline)
-            weight = count / m
-            total += weight * result.total
-            fp += weight * result.false_positive
-            fn += weight * result.false_negative
-        return BoundResult(
-            total=total, false_positive=fp, false_negative=fn, method="exact"
-        )
+    with span(
+        "bound.exact", n_sources=n, n_columns=int(dep.shape[1]), n_unique=k
+    ):
+        rate_true = np.empty((n, k))
+        rate_false = np.empty((n, k))
+        degenerate = False
+        for index, column in enumerate(unique_cols):
+            rate_true[:, index], rate_false[:, index] = _emission_rates(column, params)
+            degenerate = degenerate or _is_degenerate(
+                rate_true[:, index], rate_false[:, index]
+            )
+        if degenerate:
+            # Rare corner (rates exactly 0/1): fall back to the careful
+            # per-column path that handles impossible patterns explicitly.
+            total = fp = fn = 0.0
+            m = dep.shape[1]
+            for column, count in zip(unique_cols, counts):
+                result = exact_column_bound(column, params, deadline=deadline)
+                weight = count / m
+                total += weight * result.total
+                fp += weight * result.false_positive
+                fn += weight * result.false_negative
+            return BoundResult(
+                total=total, false_positive=fp, false_negative=fn, method="exact"
+            )
 
-    log_z, log_1z = float(np.log(params.z)), float(np.log1p(-params.z))
-    fp_mass, fn_mass = gray_pattern_masses(
-        np.log(rate_true),
-        np.log1p(-rate_true),
-        np.log(rate_false),
-        np.log1p(-rate_false),
-        log_z,
-        log_1z,
-        deadline=deadline,
-    )
-    weights = counts / dep.shape[1]
-    fp = float(np.sum(weights * fp_mass))
-    fn = float(np.sum(weights * fn_mass))
-    return _masses_to_result(fp, fn)
+        log_z, log_1z = float(np.log(params.z)), float(np.log1p(-params.z))
+        fp_mass, fn_mass = gray_pattern_masses(
+            np.log(rate_true),
+            np.log1p(-rate_true),
+            np.log(rate_false),
+            np.log1p(-rate_false),
+            log_z,
+            log_1z,
+            deadline=deadline,
+        )
+        weights = counts / dep.shape[1]
+        fp = float(np.sum(weights * fp_mass))
+        fn = float(np.sum(weights * fn_mass))
+        return _masses_to_result(fp, fn)
 
 
 def bound_from_pattern_table(

@@ -47,6 +47,7 @@ under one RNG, remains the byte-stable single-process path).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional, Sequence
 
@@ -55,6 +56,7 @@ import numpy as np
 if TYPE_CHECKING:  # deferred to keep the bounds import-light
     from repro.resilience.supervisor import Deadline
 
+from repro import observability
 from repro.bounds.exact import BoundResult, _emission_rates, _unique_columns
 from repro.core.model import SourceParameters
 from repro.data.coerce import as_dependency_array
@@ -207,8 +209,23 @@ def _run_sampler(
     deadline: Optional["Deadline"] = None,
 ) -> BoundResult:
     """Run the blocked chains for prebuilt tables to convergence."""
-    chains = BlockedGibbsChains(tables, rng, deadline=deadline)
-    return _accumulate_bound(chains, weights, config)
+    with observability.span(
+        "bound.gibbs.sample",
+        n_chains=tables.n_chains,
+        n_sources=tables.n_sources,
+    ):
+        start = time.perf_counter() if observability.enabled() else None
+        chains = BlockedGibbsChains(tables, rng, deadline=deadline)
+        result = _accumulate_bound(chains, weights, config)
+        if start is not None:
+            elapsed = time.perf_counter() - start
+            observability.count("bounds.gibbs.sampler_runs")
+            observability.count("bounds.gibbs.samples", result.n_samples or 0)
+            if elapsed > 0:
+                observability.observe_value(
+                    "bounds.gibbs.sweeps_per_second", chains.n_sweeps / elapsed
+                )
+    return result
 
 
 def _safe_frac(part: float, whole: float) -> float:
@@ -242,7 +259,7 @@ def _aggregate(
     )
 
 
-def _column_worker(payload) -> BoundResult:
+def _column_worker(payload):
     """Run one column's chain to convergence (pool entry point).
 
     The payload carries an already-built single-row
@@ -251,9 +268,18 @@ def _column_worker(payload) -> BoundResult:
     ``Deadline`` travels in the payload: its absolute start instant is
     meaningful across processes on one machine, so every shard honours
     the *remaining* budget, not a fresh one.
+
+    With ``collect`` set (the parent had an observability session open)
+    the shard runs under its own session and ships its span trees and
+    metrics snapshot back for in-order replay — the parent's session is
+    not shared with workers.  Returns ``(result, spans, metrics)``.
     """
-    tables, config, rng, deadline = payload
-    return _run_sampler(tables, np.ones(1), config, rng, deadline)
+    tables, config, rng, deadline, collect = payload
+    if collect:
+        with observability.observe() as session:
+            result = _run_sampler(tables, np.ones(1), config, rng, deadline)
+        return result, session.export_spans(), session.metrics.snapshot()
+    return _run_sampler(tables, np.ones(1), config, rng, deadline), None, None
 
 
 def merge_column_bounds(
@@ -294,11 +320,19 @@ def _sharded_bound(
     """One independent chain per distinct column, fanned out and merged."""
     n_columns = tables.n_chains
     rngs = spawn_rngs(seed, n_columns)
+    collect = observability.enabled()
     payloads: List[tuple] = [
-        (tables.row(index), config, rngs[index], deadline)
+        (tables.row(index), config, rngs[index], deadline, collect)
         for index in range(n_columns)
     ]
-    results = parallel_map(_column_worker, payloads, config=parallel)
+    with observability.span("bound.gibbs.sharded", n_columns=n_columns):
+        outcomes = parallel_map(_column_worker, payloads, config=parallel)
+        results = []
+        for result, spans, metrics in outcomes:
+            results.append(result)
+            if spans:
+                observability.graft(spans)
+            observability.merge_metrics(metrics)
     return merge_column_bounds(results, weights)
 
 

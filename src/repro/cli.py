@@ -18,6 +18,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro import observability
 from repro.baselines import ALGORITHM_REGISTRY, make_fact_finder
 from repro.bounds import (
     GibbsConfig,
@@ -53,6 +54,7 @@ from repro.io import (
     save_sparse_problem,
     save_tweets,
 )
+from repro.observability import hit_rate, profile_stage
 from repro.parallel import ParallelConfig
 from repro.resilience.supervisor import Deadline, parse_timespan
 from repro.synthetic import GeneratorConfig, empirical_parameters, generate_dataset
@@ -62,6 +64,23 @@ _EXPERIMENTS = (
     "table1", "table3", "fig3", "fig4", "fig5", "fig6",
     "fig7", "fig8", "fig9", "fig10", "fig11",
 )
+
+
+def _add_observability_flags(sub: argparse.ArgumentParser) -> None:
+    group = sub.add_argument_group("observability (off unless requested)")
+    group.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write the run's span tree as JSON (repro.trace/v1)",
+    )
+    group.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the run's metrics snapshot as JSON (repro.metrics/v1)",
+    )
+    group.add_argument(
+        "--profile-out", default=None, metavar="PATH",
+        help="profile the command under cProfile and write a pstats "
+             "text report",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -94,6 +113,7 @@ def _build_parser() -> argparse.ArgumentParser:
     estimate.add_argument("--smoothing", type=float, default=0.0)
     estimate.add_argument("--top", type=int, default=10,
                           help="print this many top-ranked assertions")
+    _add_observability_flags(estimate)
 
     bound = subparsers.add_parser(
         "bound", help="fundamental error bound of a problem (needs truth labels)"
@@ -119,6 +139,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="pick the best affordable tier (exact -> gibbs -> "
              "analytic) and report any degradation instead of failing",
     )
+    _add_observability_flags(bound)
 
     simulate = subparsers.add_parser(
         "simulate", help="simulate a Table III Twitter dataset"
@@ -140,6 +161,7 @@ def _build_parser() -> argparse.ArgumentParser:
              "(figs 3-5) out across N worker processes (-1: all cores); "
              "results are identical for any N",
     )
+    _add_observability_flags(experiment)
     return parser
 
 
@@ -330,6 +352,39 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _run_observed(handler, args) -> int:
+    """Run a command handler, honouring the observability flags.
+
+    With none of ``--trace-out`` / ``--metrics-out`` / ``--profile-out``
+    given the handler runs exactly as before (no session installed, so
+    every instrumentation point stays on its no-op path).  Outputs are
+    written only after the handler returns, and the digest goes to
+    stderr so stdout stays machine-readable.
+    """
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    profile_out = getattr(args, "profile_out", None)
+    if trace_out is None and metrics_out is None and profile_out is None:
+        return handler(args)
+    with observability.observe(root_name=f"repro.{args.command}") as session:
+        with profile_stage(profile_out):
+            code = handler(args)
+    if trace_out is not None:
+        session.write_trace(trace_out)
+        print(f"wrote trace to {trace_out}", file=sys.stderr)
+    if metrics_out is not None:
+        session.write_metrics(metrics_out)
+        rate = hit_rate(session.metrics.snapshot())
+        print(
+            f"wrote metrics to {metrics_out} "
+            f"(params-cache hit rate {rate:.1%})",
+            file=sys.stderr,
+        )
+    if profile_out is not None:
+        print(f"wrote profile to {profile_out}", file=sys.stderr)
+    return code
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = _build_parser()
@@ -342,7 +397,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment": _cmd_experiment,
     }
     try:
-        return handlers[args.command](args)
+        return _run_observed(handlers[args.command], args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

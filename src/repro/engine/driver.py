@@ -54,6 +54,7 @@ from typing import (
 
 import numpy as np
 
+from repro import observability
 from repro.core.model import ParameterTrace
 from repro.engine.health import RestartReport, RunHealth
 from repro.utils.errors import ConvergenceError, DeadlineExceeded, ValidationError
@@ -215,43 +216,45 @@ class EMDriver:
         converged = False
         diverged = False
         budget_exhausted = False
-        for iteration in range(self.max_iterations):
-            start = time.perf_counter()
-            new_params = backend.m_step(posterior, params)
-            delta = new_params.max_difference(params)
-            params = new_params
-            posterior, log_likelihood = backend.e_step(params)
-            trace.record(log_likelihood, delta)
-            duration = time.perf_counter() - start
-            stop_requested = False
-            for callback in self.callbacks:
-                if callback(
-                    IterationEvent(
+        with observability.span("em.run", max_iterations=self.max_iterations):
+            for iteration in range(self.max_iterations):
+                start = time.perf_counter()
+                new_params = backend.m_step(posterior, params)
+                delta = new_params.max_difference(params)
+                params = new_params
+                posterior, log_likelihood = backend.e_step(params)
+                trace.record(log_likelihood, delta)
+                duration = time.perf_counter() - start
+                observability.count("em.iterations")
+                stop_requested = False
+                for callback in self.callbacks:
+                    if callback(
+                        IterationEvent(
+                            iteration=iteration,
+                            delta=delta,
+                            log_likelihood=log_likelihood,
+                            duration_seconds=duration,
+                        )
+                    ):
+                        stop_requested = True
+                if not (np.isfinite(delta) and np.isfinite(log_likelihood)):
+                    diverged = True
+                    break
+                if delta < self.tolerance:
+                    converged = True
+                    break
+                if deadline is not None and time.perf_counter() >= deadline:
+                    budget_exhausted = True
+                    break
+                if self.budget is not None:
+                    self.budget.check(
+                        "EMDriver.run",
                         iteration=iteration,
-                        delta=delta,
-                        log_likelihood=log_likelihood,
-                        duration_seconds=duration,
+                        delta=float(delta),
+                        log_likelihood=float(log_likelihood),
                     )
-                ):
-                    stop_requested = True
-            if not (np.isfinite(delta) and np.isfinite(log_likelihood)):
-                diverged = True
-                break
-            if delta < self.tolerance:
-                converged = True
-                break
-            if deadline is not None and time.perf_counter() >= deadline:
-                budget_exhausted = True
-                break
-            if self.budget is not None:
-                self.budget.check(
-                    "EMDriver.run",
-                    iteration=iteration,
-                    delta=float(delta),
-                    log_likelihood=float(log_likelihood),
-                )
-            if stop_requested:
-                break
+                if stop_requested:
+                    break
         return DriverOutcome(
             parameters=params,
             posterior=posterior,
@@ -315,52 +318,62 @@ class EMDriver:
             candidates = self._serial_candidates(
                 backend, initialiser, rng, deadline, health
             )
-        for index, candidate, error in candidates:
-            if error is not None:  # per-restart fault isolation
-                health.record(
-                    RestartReport(
-                        index=index,
-                        status="error",
-                        n_iterations=0,
-                        log_likelihood=float("nan"),
-                        error=error,
+        fit_span = observability.span("em.fit", n_restarts=self.n_restarts)
+        fit_span.__enter__()
+        n_restarts_run = 0
+        try:
+            for index, candidate, error in candidates:
+                n_restarts_run += 1
+                observability.count("em.restarts")
+                if error is not None:  # per-restart fault isolation
+                    observability.count("em.restarts_failed")
+                    health.record(
+                        RestartReport(
+                            index=index,
+                            status="error",
+                            n_iterations=0,
+                            log_likelihood=float("nan"),
+                            error=error,
+                        )
                     )
+                    continue
+                total_iterations += candidate.n_iterations
+                deltas = candidate.trace.parameter_deltas
+                if len(deltas):
+                    last_residual = float(deltas[-1])
+                log_likelihood = candidate.log_likelihood
+                if candidate.diverged or np.isnan(log_likelihood):
+                    health.record(
+                        RestartReport(
+                            index=index,
+                            status="diverged",
+                            n_iterations=candidate.n_iterations,
+                            log_likelihood=log_likelihood,
+                        )
+                    )
+                    fallback = candidate
+                    continue
+                if candidate.budget_exhausted:
+                    health.budget_exhausted = True
+                status = (
+                    "converged"
+                    if candidate.converged
+                    else ("budget" if candidate.budget_exhausted else "exhausted")
                 )
-                continue
-            total_iterations += candidate.n_iterations
-            deltas = candidate.trace.parameter_deltas
-            if len(deltas):
-                last_residual = float(deltas[-1])
-            log_likelihood = candidate.log_likelihood
-            if candidate.diverged or np.isnan(log_likelihood):
                 health.record(
                     RestartReport(
                         index=index,
-                        status="diverged",
+                        status=status,
                         n_iterations=candidate.n_iterations,
                         log_likelihood=log_likelihood,
                     )
                 )
-                fallback = candidate
-                continue
-            if candidate.budget_exhausted:
-                health.budget_exhausted = True
-            status = (
-                "converged"
-                if candidate.converged
-                else ("budget" if candidate.budget_exhausted else "exhausted")
-            )
-            health.record(
-                RestartReport(
-                    index=index,
-                    status=status,
-                    n_iterations=candidate.n_iterations,
-                    log_likelihood=log_likelihood,
-                )
-            )
-            if best is None or log_likelihood > best.log_likelihood:
-                best = candidate
-                best_index = index
+                if best is None or log_likelihood > best.log_likelihood:
+                    best = candidate
+                    best_index = index
+        finally:
+            observability.observe_value("em.restarts_per_fit", n_restarts_run)
+            fit_span.__exit__(None, None, None)
         if best is not None:
             health.selected = best_index
             best.health = health
@@ -430,8 +443,9 @@ class EMDriver:
                 prepared.append((index, initialiser(index, restart_rng)))
             except Exception as error:
                 init_errors[index] = f"{type(error).__name__}: {error}"
+        collect = observability.enabled()
         payloads = [
-            (backend, params, self.max_iterations, self.tolerance)
+            (backend, params, self.max_iterations, self.tolerance, collect)
             for _, params in prepared
         ]
         results = parallel_map(_restart_worker, payloads, config=self.parallel)
@@ -442,30 +456,53 @@ class EMDriver:
             if index in init_errors:
                 yield index, None, init_errors[index]
                 continue
-            candidate, error, events = by_index[index]
+            candidate, error, events, spans, metrics = by_index[index]
             replay_events(events, self.callbacks)
+            if spans:
+                observability.graft(spans)
+            observability.merge_metrics(metrics)
             yield index, candidate, error
 
 
-def _restart_worker(
-    payload: Tuple[Any, Any, int, float],
-) -> Tuple[Optional[DriverOutcome], Optional[str], List[IterationEvent]]:
+def _restart_worker(payload):
     """Run one restart's EM loop in a worker process (pool entry point).
 
-    Returns ``(outcome, error_message, events)`` — exceptions are
-    carried back as strings so one bad restart is isolated exactly as
-    in the serial loop instead of killing the pool.
+    Returns ``(outcome, error_message, events, spans, metrics)`` —
+    exceptions are carried back as strings so one bad restart is
+    isolated exactly as in the serial loop instead of killing the pool.
+    With ``collect`` set (the parent had an observability session open)
+    the restart runs under its own worker session and its span trees
+    and metrics snapshot travel back for in-order replay, mirroring the
+    telemetry events.
     """
-    backend, params, max_iterations, tolerance = payload
+    backend, params, max_iterations, tolerance, collect = payload
     recorder = TelemetryRecorder()
     driver = EMDriver(
         max_iterations=max_iterations, tolerance=tolerance, callbacks=(recorder,)
     )
+    if collect:
+        # A failing run must still ship whatever it recorded before the
+        # fault — the serial path keeps those records in the ambient
+        # session, so dropping them here would break counter parity.
+        with observability.observe() as session:
+            outcome: Optional[DriverOutcome] = None
+            error_message: Optional[str] = None
+            try:
+                outcome = driver.run(backend, params)
+            except Exception as error:
+                error_message = f"{type(error).__name__}: {error}"
+        return (
+            outcome,
+            error_message,
+            list(recorder.events),
+            session.export_spans(),
+            session.metrics.snapshot(),
+        )
     try:
         outcome = driver.run(backend, params)
     except Exception as error:
-        return None, f"{type(error).__name__}: {error}", list(recorder.events)
-    return outcome, None, list(recorder.events)
+        return None, f"{type(error).__name__}: {error}", list(recorder.events), [], None
+    return outcome, None, list(recorder.events), [], None
 
 
 __all__ = [

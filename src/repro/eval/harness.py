@@ -44,6 +44,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro import observability
 from repro.baselines import ALGORITHM_REGISTRY, make_fact_finder
 from repro.bounds import (
     GibbsConfig,
@@ -216,6 +217,10 @@ class _TrialSpec:
     exact_limit: int
     record_events: bool
     bound_deadline_seconds: Optional[float] = None
+    #: Set when the parent has an observability session open and the
+    #: trials run in workers: each worker collects its own session and
+    #: ships spans + metrics back for in-order replay.
+    record_observability: bool = False
 
 
 @dataclass
@@ -226,6 +231,10 @@ class _TrialOutcome:
     metrics: List  # [(name, Optional[ClassificationMetrics]), ...]
     failures: List[TrialFailure]
     events: List
+    #: Worker-side observability payload (empty on the serial path,
+    #: where records land in the parent's ambient session directly).
+    spans: List = field(default_factory=list)
+    obs_metrics: Optional[dict] = None
 
 
 def _run_trial(
@@ -252,53 +261,57 @@ def _run_trial(
     metrics_by_name = []
 
     def _supervised(name, base_seed, fit):
-        breaker = breakers.get(name) if breakers is not None else None
-        if breaker is not None and not breaker.allow():
-            failures.append(
-                TrialFailure(
-                    trial=task.trial,
-                    algorithm=name,
-                    attempt=0,
-                    error_type="CircuitOpenError",
-                    message=str(breaker.call_refused_error(name))[:500],
-                    action=ACTION_SHORT_CIRCUITED,
+        with observability.span("harness.fit", algorithm=name):
+            breaker = breakers.get(name) if breakers is not None else None
+            if breaker is not None and not breaker.allow():
+                failures.append(
+                    TrialFailure(
+                        trial=task.trial,
+                        algorithm=name,
+                        attempt=0,
+                        error_type="CircuitOpenError",
+                        message=str(breaker.call_refused_error(name))[:500],
+                        action=ACTION_SHORT_CIRCUITED,
+                    )
                 )
+                observability.count(f"harness.failures.{ACTION_SHORT_CIRCUITED}")
+                return None
+            metrics = _attempt(fit, task.trial, name, base_seed, spec.policy, failures)
+            if breaker is not None:
+                if metrics is not None:
+                    breaker.record_success()
+                else:
+                    breaker.record_failure()
+            return metrics
+
+    with observability.span("harness.trial", trial=task.trial):
+        observability.count("harness.trials")
+        for name in spec.algorithms:
+
+            def _fit_and_score(fit_seed: int, name: str = name) -> ClassificationMetrics:
+                finder = _make(name, fit_seed, spec.em_config, callbacks)
+                result = finder.fit(blind)
+                if not np.all(np.isfinite(result.scores)):
+                    raise DataError(
+                        f"{name} produced non-finite scores on trial {task.trial}"
+                    )
+                return score_result(result, problem.truth)
+
+            metrics = _supervised(name, task.trial_seed, _fit_and_score)
+            metrics_by_name.append((name, metrics))
+        if spec.include_optimal:
+            metrics = _supervised(
+                OPTIMAL_KEY,
+                task.optimal_seed,
+                lambda s: _optimal_metrics(
+                    problem,
+                    spec.bound_config,
+                    spec.exact_limit,
+                    s,
+                    spec.bound_deadline_seconds,
+                ),
             )
-            return None
-        metrics = _attempt(fit, task.trial, name, base_seed, spec.policy, failures)
-        if breaker is not None:
-            if metrics is not None:
-                breaker.record_success()
-            else:
-                breaker.record_failure()
-        return metrics
-
-    for name in spec.algorithms:
-
-        def _fit_and_score(fit_seed: int, name: str = name) -> ClassificationMetrics:
-            finder = _make(name, fit_seed, spec.em_config, callbacks)
-            result = finder.fit(blind)
-            if not np.all(np.isfinite(result.scores)):
-                raise DataError(
-                    f"{name} produced non-finite scores on trial {task.trial}"
-                )
-            return score_result(result, problem.truth)
-
-        metrics = _supervised(name, task.trial_seed, _fit_and_score)
-        metrics_by_name.append((name, metrics))
-    if spec.include_optimal:
-        metrics = _supervised(
-            OPTIMAL_KEY,
-            task.optimal_seed,
-            lambda s: _optimal_metrics(
-                problem,
-                spec.bound_config,
-                spec.exact_limit,
-                s,
-                spec.bound_deadline_seconds,
-            ),
-        )
-        metrics_by_name.append((OPTIMAL_KEY, metrics))
+            metrics_by_name.append((OPTIMAL_KEY, metrics))
     return _TrialOutcome(
         trial=task.trial,
         metrics=metrics_by_name,
@@ -308,8 +321,21 @@ def _run_trial(
 
 
 def _trial_worker(payload) -> _TrialOutcome:
-    """Pool entry point: unpack one ``(task, spec)`` payload."""
+    """Pool entry point: unpack one ``(task, spec)`` payload.
+
+    With ``spec.record_observability`` set the trial runs under its own
+    worker session (never the forked copy of the parent's) and the
+    outcome carries the session's span trees and metrics snapshot for
+    in-order replay in the parent — the same discipline as telemetry
+    events.
+    """
     task, spec = payload
+    if spec.record_observability:
+        with observability.observe() as session:
+            outcome = _run_trial(task, spec)
+        outcome.spans = session.export_spans()
+        outcome.obs_metrics = session.metrics.snapshot()
+        return outcome
     return _run_trial(task, spec)
 
 
@@ -330,6 +356,7 @@ def _timed_out_outcome(index, payload, error) -> _TrialOutcome:
         f"trial {task.trial} (seed {task.trial_seed}) lost to a wedged "
         f"worker: {error}"
     )
+    observability.count(f"harness.failures.{ACTION_TIMED_OUT}", len(names))
     return _TrialOutcome(
         trial=task.trial,
         metrics=[(name, None) for name in names],
@@ -519,6 +546,7 @@ def run_simulation(
         exact_limit=exact_limit,
         record_events=parallel is not None and telemetry is not None,
         bound_deadline_seconds=bound_deadline_seconds,
+        record_observability=parallel is not None and observability.enabled(),
     )
     if parallel is None:
         breakers = None
@@ -540,31 +568,40 @@ def run_simulation(
             config=parallel,
             on_timeout=on_timeout,
         )
-    for outcome in outcomes:
-        if spec.record_events:
-            replay_events(outcome.events, (telemetry,))
-        for name, metrics in outcome.metrics:
-            if metrics is not None:
-                series[name].record(metrics)
-        failures.extend(outcome.failures)
-        trial = outcome.trial
-        if checkpoint_path is not None and (
-            (trial + 1) % checkpoint_interval == 0 or trial + 1 == n_trials
-        ):
-            save_checkpoint(
-                checkpoint_path,
-                fingerprint=fingerprint,
-                completed_trials=trial + 1,
-                series={
-                    name: {
-                        "accuracy": s.accuracy,
-                        "false_positive_rate": s.false_positive_rate,
-                        "false_negative_rate": s.false_negative_rate,
-                    }
-                    for name, s in series.items()
-                },
-                failures=failures,
-            )
+    # The consumption loop drives the (lazy) serial generator or drains
+    # the pool, so both paths' trial spans land under this one — worker
+    # trees are grafted here, in trial order, like telemetry events.
+    with observability.span(
+        "harness.run_simulation", n_trials=n_trials, n_tasks=len(tasks)
+    ):
+        for outcome in outcomes:
+            if spec.record_events:
+                replay_events(outcome.events, (telemetry,))
+            if spec.record_observability:
+                observability.graft(outcome.spans)
+                observability.merge_metrics(outcome.obs_metrics)
+            for name, metrics in outcome.metrics:
+                if metrics is not None:
+                    series[name].record(metrics)
+            failures.extend(outcome.failures)
+            trial = outcome.trial
+            if checkpoint_path is not None and (
+                (trial + 1) % checkpoint_interval == 0 or trial + 1 == n_trials
+            ):
+                save_checkpoint(
+                    checkpoint_path,
+                    fingerprint=fingerprint,
+                    completed_trials=trial + 1,
+                    series={
+                        name: {
+                            "accuracy": s.accuracy,
+                            "false_positive_rate": s.false_positive_rate,
+                            "false_negative_rate": s.false_negative_rate,
+                        }
+                        for name, s in series.items()
+                    },
+                    failures=failures,
+                )
     return SimulationResult(
         config=config, n_trials=n_trials, series=series, failures=failures
     )
@@ -590,6 +627,8 @@ def _attempt(
         if attempt:
             delay = policy.delay_before(attempt, base_seed)
             if delay > 0:
+                observability.count("harness.backoff.delays")
+                observability.observe_value("harness.backoff.seconds", delay)
                 time.sleep(delay)
         try:
             return fit(retry_seed(base_seed, attempt))
@@ -609,6 +648,7 @@ def _attempt(
                     action=action,
                 )
             )
+            observability.count(f"harness.failures.{action}")
     return None
 
 

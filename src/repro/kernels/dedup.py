@@ -30,6 +30,8 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.observability import count, observe_value
+
 
 @dataclass(frozen=True)
 class ColumnGroups:
@@ -83,9 +85,16 @@ def group_columns(matrix: np.ndarray) -> ColumnGroups:
     unique, inverse, counts = np.unique(
         transposed, axis=0, return_inverse=True, return_counts=True
     )
-    return ColumnGroups(
+    groups = ColumnGroups(
         unique=unique, counts=counts, inverse=inverse.reshape(-1)
     )
+    count("kernels.dedup.columns_total", groups.n_columns)
+    count("kernels.dedup.columns_unique", groups.n_unique)
+    if groups.n_columns:
+        observe_value(
+            "kernels.dedup.compression_ratio", groups.n_unique / groups.n_columns
+        )
+    return groups
 
 
 def group_paired_columns(

@@ -32,6 +32,8 @@ from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
 
+from repro.observability import count, span
+
 if TYPE_CHECKING:  # deferred: kernels must stay import-light
     from repro.resilience.supervisor import Deadline
 
@@ -112,45 +114,53 @@ def gray_pattern_masses(
             n_columns=k,
         )
 
-    patterns = pattern_block(0, 1 << n_lo, n_lo)
-    complement = 1.0 - patterns
-    exp_low_true = np.exp(patterns @ log_r1[:n_lo] + complement @ log_1r1[:n_lo])
-    exp_low_false = np.exp(patterns @ log_r0[:n_lo] + complement @ log_1r0[:n_lo])
+    with span(
+        "kernels.gray_enumeration",
+        n_sources=n,
+        n_columns=k,
+        n_lo=n_lo,
+        patterns=1 << n,
+    ):
+        patterns = pattern_block(0, 1 << n_lo, n_lo)
+        complement = 1.0 - patterns
+        exp_low_true = np.exp(patterns @ log_r1[:n_lo] + complement @ log_1r1[:n_lo])
+        exp_low_false = np.exp(patterns @ log_r0[:n_lo] + complement @ log_1r0[:n_lo])
 
-    delta_true = log_r1[n_lo:] - log_1r1[n_lo:]
-    delta_false = log_r0[n_lo:] - log_1r0[n_lo:]
-    base_true = log_1r1[n_lo:].sum(axis=0) + log_z
-    base_false = log_1r0[n_lo:].sum(axis=0) + log_1z
-    hi_true = base_true.copy()
-    hi_false = base_false.copy()
+        delta_true = log_r1[n_lo:] - log_1r1[n_lo:]
+        delta_false = log_r0[n_lo:] - log_1r0[n_lo:]
+        base_true = log_1r1[n_lo:].sum(axis=0) + log_z
+        base_false = log_1r0[n_lo:].sum(axis=0) + log_1z
+        hi_true = base_true.copy()
+        hi_false = base_false.copy()
 
-    fp_mass = np.zeros(k)
-    fn_mass = np.zeros(k)
-    state = np.zeros(n_hi, dtype=bool)
-    total_steps = 1 << n_hi
-    for step in range(total_steps):
-        if step:
-            bit = (step & -step).bit_length() - 1
-            flip = -1.0 if state[bit] else 1.0
-            state[bit] = not state[bit]
-            if step % _REFRESH_INTERVAL:
-                hi_true += flip * delta_true[bit]
-                hi_false += flip * delta_false[bit]
-            else:
-                hi_true = base_true + delta_true[state].sum(axis=0)
-                hi_false = base_false + delta_false[state].sum(axis=0)
-                if deadline is not None:
-                    deadline.check(
-                        "gray-code enumeration",
-                        patterns_done=step << n_lo,
-                        patterns_total=total_steps << n_lo,
-                        n_columns=k,
-                    )
-        joint_true = exp_low_true * np.exp(hi_true)
-        joint_false = exp_low_false * np.exp(hi_false)
-        decide_true = joint_true > joint_false
-        fp_mass += np.where(decide_true, joint_false, 0.0).sum(axis=0)
-        fn_mass += np.where(decide_true, 0.0, joint_true).sum(axis=0)
+        fp_mass = np.zeros(k)
+        fn_mass = np.zeros(k)
+        state = np.zeros(n_hi, dtype=bool)
+        total_steps = 1 << n_hi
+        for step in range(total_steps):
+            if step:
+                bit = (step & -step).bit_length() - 1
+                flip = -1.0 if state[bit] else 1.0
+                state[bit] = not state[bit]
+                if step % _REFRESH_INTERVAL:
+                    hi_true += flip * delta_true[bit]
+                    hi_false += flip * delta_false[bit]
+                else:
+                    hi_true = base_true + delta_true[state].sum(axis=0)
+                    hi_false = base_false + delta_false[state].sum(axis=0)
+                    if deadline is not None:
+                        deadline.check(
+                            "gray-code enumeration",
+                            patterns_done=step << n_lo,
+                            patterns_total=total_steps << n_lo,
+                            n_columns=k,
+                        )
+            joint_true = exp_low_true * np.exp(hi_true)
+            joint_false = exp_low_false * np.exp(hi_false)
+            decide_true = joint_true > joint_false
+            fp_mass += np.where(decide_true, joint_false, 0.0).sum(axis=0)
+            fn_mass += np.where(decide_true, 0.0, joint_true).sum(axis=0)
+        count("kernels.enumeration.patterns", 1 << n)
     return fp_mass, fn_mass
 
 

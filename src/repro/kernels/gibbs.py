@@ -33,6 +33,8 @@ from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
+from repro.observability import count
+
 if TYPE_CHECKING:  # deferred: kernels must stay import-light
     from repro.resilience.supervisor import Deadline
 
@@ -142,6 +144,7 @@ class BlockedGibbsChains:
                 n_sources=self.n_sources,
             )
         self.n_sweeps += 1
+        count("kernels.gibbs.sweeps")
         t = self.tables
         joint_true = self._like_true + t.log_z
         joint_false = self._like_false + t.log_1z

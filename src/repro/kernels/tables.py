@@ -24,6 +24,8 @@ from typing import Callable, Optional, TypeVar
 
 import numpy as np
 
+from repro.observability import count
+
 T = TypeVar("T")
 
 
@@ -149,8 +151,11 @@ class ParamsKeyedCache:
     def get(self, params, compute: Callable[[], T]) -> T:
         """Return the cached value for ``params``, computing on miss."""
         if params is not self._key:
+            count("kernels.params_cache.misses")
             self._value = compute()
             self._key = params
+        else:
+            count("kernels.params_cache.hits")
         return self._value
 
     def clear(self) -> None:

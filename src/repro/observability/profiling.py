@@ -1,0 +1,50 @@
+"""Opt-in ``cProfile`` stage wrapper.
+
+Deterministic profiling for one stage of a run: wrap the stage in
+:func:`profile_stage` and get a ``pstats`` text report written to disk.
+Unlike tracing and metrics this *does* perturb timings (cProfile hooks
+every call), so it is never enabled implicitly — only by an explicit
+``--profile-out`` flag or a direct call.  Results stay bit-for-bit
+identical either way: profiling observes the interpreter, not the
+numerics.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+
+@contextmanager
+def profile_stage(
+    out_path: Optional[str],
+    *,
+    sort: str = "cumulative",
+    limit: int = 40,
+) -> Iterator[Optional[cProfile.Profile]]:
+    """Profile the block and write a ``pstats`` text report to ``out_path``.
+
+    With ``out_path=None`` the block runs unprofiled (the common case:
+    callers pass the CLI flag through unconditionally).  Yields the
+    live profiler, or ``None`` when disabled.
+    """
+    if out_path is None:
+        yield None
+        return
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield profiler
+    finally:
+        profiler.disable()
+        buffer = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buffer)
+        stats.sort_stats(sort).print_stats(limit)
+        with open(out_path, "w", encoding="utf-8") as handle:
+            handle.write(buffer.getvalue())
+
+
+__all__ = ["profile_stage"]

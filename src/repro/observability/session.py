@@ -1,0 +1,174 @@
+"""The process-global observability session and its no-op fast path.
+
+Observability is **off by default**.  Instrumented call sites go
+through the module helpers here (:func:`count`, :func:`observe_value`,
+:func:`span`, ...), which cost one global load and a ``None`` check
+when no session is active — cheap enough for hot loops like Gibbs
+sweeps and cache probes.
+
+:func:`observe` installs a fresh :class:`ObservabilitySession` (a
+tracer plus a metrics registry) for the duration of a block and
+restores whatever was active before, so sessions nest: the CLI opens
+one around a whole experiment, and worker entry points open their *own*
+session around each task so their records can be shipped back to the
+parent instead of vanishing into a forked copy of the parent's.
+
+The contract every instrumentation point must honour: recording never
+reads or writes numerics or RNG state.  That is what makes enabling
+observability bit-for-bit transparent — pinned by the Hypothesis suite
+in ``tests/observability/test_transparency.py``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager, nullcontext
+from typing import ContextManager, Iterator, Optional
+
+from repro.observability.metrics import (
+    MetricsRegistry,
+    Number,
+    metrics_document,
+    write_metrics_json,
+)
+from repro.observability.tracing import (
+    Span,
+    Tracer,
+    trace_document,
+    write_trace_json,
+)
+
+
+class ObservabilitySession:
+    """One tracer and one metrics registry, collected together."""
+
+    __slots__ = ("tracer", "metrics")
+
+    def __init__(self, root_name: str = "session") -> None:
+        self.tracer = Tracer(root_name)
+        self.metrics = MetricsRegistry()
+
+    def finish(self) -> Span:
+        """Close the root span; returns it.  Idempotent."""
+        return self.tracer.finish()
+
+    # -- export ------------------------------------------------------------
+
+    def export_spans(self) -> list:
+        """The root's finished child trees — picklable, for worker replay."""
+        self.finish()
+        return list(self.tracer.root.children)
+
+    def trace_dict(self) -> dict:
+        """Versioned JSON-ready trace document (finishes the root)."""
+        return trace_document(self.finish())
+
+    def metrics_dict(self) -> dict:
+        """Versioned JSON-ready metrics document."""
+        return metrics_document(self.metrics.snapshot())
+
+    def write_trace(self, path: str) -> None:
+        write_trace_json(path, self.finish())
+
+    def write_metrics(self, path: str) -> None:
+        write_metrics_json(path, self.metrics.snapshot())
+
+
+#: The active session, or None.  Module-global on purpose: instrumented
+#: call sites must not thread a handle through every signature.
+_ACTIVE: Optional[ObservabilitySession] = None
+
+#: Shared no-op context manager handed out by :func:`span` when
+#: observability is off (``nullcontext`` is reusable and reentrant).
+_NULL_SPAN: ContextManager[None] = nullcontext(None)
+
+
+def active() -> Optional[ObservabilitySession]:
+    """The currently installed session, or None."""
+    return _ACTIVE
+
+
+def enabled() -> bool:
+    """True when an observability session is active in this process."""
+    return _ACTIVE is not None
+
+
+@contextmanager
+def observe(root_name: str = "session") -> Iterator[ObservabilitySession]:
+    """Install a fresh session for the duration of the block.
+
+    The previous session (if any) is restored on exit, so sessions
+    nest; the new session's root span is closed on exit.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    session = ObservabilitySession(root_name)
+    _ACTIVE = session
+    try:
+        yield session
+    finally:
+        session.finish()
+        _ACTIVE = previous
+
+
+# -- instrumentation helpers (no-ops when disabled) ------------------------
+
+
+def count(name: str, value: Number = 1) -> None:
+    """Increment counter ``name`` on the active session, if any."""
+    session = _ACTIVE
+    if session is not None:
+        session.metrics.increment(name, value)
+
+
+def observe_value(name: str, value: Number) -> None:
+    """Fold ``value`` into histogram ``name`` on the active session."""
+    session = _ACTIVE
+    if session is not None:
+        session.metrics.observe(name, value)
+
+
+def set_gauge(name: str, value: Number) -> None:
+    """Set gauge ``name`` on the active session, if any."""
+    session = _ACTIVE
+    if session is not None:
+        session.metrics.set_gauge(name, value)
+
+
+def span(name: str, **attributes) -> ContextManager[Optional[Span]]:
+    """Context manager opening a span on the active session's tracer.
+
+    Yields the open :class:`Span` (so callers may annotate it), or
+    ``None`` when observability is off.
+    """
+    session = _ACTIVE
+    if session is None:
+        return _NULL_SPAN
+    return session.tracer.span(name, **attributes)
+
+
+def graft(spans: list) -> None:
+    """Attach worker span trees under the active session's current span."""
+    session = _ACTIVE
+    if session is not None and spans:
+        session.tracer.graft(spans)
+
+
+def merge_metrics(snapshot: Optional[dict]) -> None:
+    """Fold a worker's metrics snapshot into the active session."""
+    session = _ACTIVE
+    if session is not None and snapshot:
+        session.metrics.merge(snapshot)
+
+
+__all__ = [
+    "ObservabilitySession",
+    "active",
+    "count",
+    "enabled",
+    "graft",
+    "merge_metrics",
+    "observe",
+    "observe_value",
+    "set_gauge",
+    "span",
+]

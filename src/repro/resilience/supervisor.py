@@ -38,6 +38,7 @@ from typing import Any, Dict, Optional
 
 import numpy as np
 
+from repro.observability import count
 from repro.utils.errors import (
     CircuitOpenError,
     DeadlineExceeded,
@@ -321,14 +322,17 @@ class CircuitBreaker:
         self._refused += 1
         if self._refused >= self.config.cooldown_calls:
             self.state = BREAKER_HALF_OPEN
+            count("breaker.transitions.half_open")
             return True
         self.n_short_circuits += 1
+        count("breaker.short_circuits")
         return False
 
     def record_success(self) -> None:
         """Record a successful call outcome."""
         if self.state == BREAKER_HALF_OPEN:
             self.state = BREAKER_CLOSED
+            count("breaker.transitions.closed")
             self._window.clear()
             self._refused = 0
             return
@@ -340,6 +344,7 @@ class CircuitBreaker:
             self.state = BREAKER_OPEN
             self._refused = 0
             self.n_trips += 1
+            count("breaker.transitions.opened")
             return
         self._window.append(1)
         if (
@@ -350,6 +355,7 @@ class CircuitBreaker:
             self.state = BREAKER_OPEN
             self._refused = 0
             self.n_trips += 1
+            count("breaker.transitions.opened")
 
     def call_refused_error(self, context: str) -> CircuitOpenError:
         """A descriptive :class:`CircuitOpenError` for a refused call."""

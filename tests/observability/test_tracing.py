@@ -1,0 +1,157 @@
+"""Unit tests for spans, the tracer, session plumbing and profiling."""
+
+import json
+import os
+
+import pytest
+
+from repro import observability
+from repro.observability import (
+    TRACE_SCHEMA,
+    Span,
+    Tracer,
+    profile_stage,
+    trace_document,
+    validate_span_tree,
+    write_trace_json,
+)
+from repro.utils.errors import ValidationError
+
+
+class TestTracer:
+    def test_single_root_and_nesting(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner", depth=1) as inner:
+                assert tracer.current is inner
+            assert tracer.current is outer
+        root = tracer.finish()
+        assert root.name == "session"
+        assert [c.name for c in root.children] == ["outer"]
+        assert [c.name for c in root.children[0].children] == ["inner"]
+        assert root.children[0].children[0].attributes == {"depth": 1}
+        assert validate_span_tree(root) == []
+
+    def test_finish_is_idempotent(self):
+        tracer = Tracer()
+        first = tracer.finish()
+        end = first.end
+        assert tracer.finish().end == end
+
+    def test_span_closed_even_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        root = tracer.finish()
+        assert root.children[0].end is not None
+        assert validate_span_tree(root) == []
+
+    def test_graft_preserves_order_and_foreign_pid(self):
+        worker = Tracer(root_name="worker")
+        with worker.span("w1"):
+            pass
+        with worker.span("w2"):
+            pass
+        shipped = [
+            Span.from_dict(child.to_dict())
+            for child in worker.finish().children
+        ]
+        # Simulate a foreign process clock: same structure, alien pid.
+        for span in shipped:
+            span.pid = os.getpid() + 1
+        parent = Tracer()
+        with parent.span("consume"):
+            parent.graft(shipped)
+        root = parent.finish()
+        consume = root.children[0]
+        assert [c.name for c in consume.children] == ["w1", "w2"]
+        # Foreign-pid children are exempt from interval containment.
+        assert validate_span_tree(root) == []
+
+
+class TestValidation:
+    def test_detects_unclosed_and_negative_spans(self):
+        root = Span(name="session", start=0.0, pid=1, end=10.0)
+        root.children.append(Span(name="open", start=1.0, pid=1))
+        root.children.append(Span(name="", start=1.0, pid=1, end=0.5))
+        problems = validate_span_tree(root)
+        assert any("never closed" in p for p in problems)
+        assert any("negative duration" in p for p in problems)
+        assert any("empty span name" in p for p in problems)
+
+    def test_detects_child_escaping_parent_interval(self):
+        root = Span(name="session", start=0.0, pid=1, end=1.0)
+        root.children.append(Span(name="late", start=0.5, pid=1, end=2.0))
+        assert any(
+            "not contained" in p for p in validate_span_tree(root)
+        )
+
+    def test_trace_document_rejects_unfinished_root(self):
+        with pytest.raises(ValidationError):
+            trace_document(Span(name="session", start=0.0, pid=1))
+
+
+class TestSession:
+    def test_disabled_by_default(self):
+        assert observability.active() is None
+        assert not observability.enabled()
+        # All helpers are no-ops without a session.
+        observability.count("x")
+        observability.observe_value("h", 1.0)
+        observability.set_gauge("g", 2)
+        with observability.span("nothing") as span:
+            assert span is None
+
+    def test_observe_installs_and_restores(self):
+        with observability.observe() as outer:
+            assert observability.active() is outer
+            observability.count("n")
+            with observability.observe() as inner:
+                assert observability.active() is inner
+                observability.count("n", 10)
+            assert observability.active() is outer
+            assert inner.metrics.counter("n") == 10
+        assert observability.active() is None
+        assert outer.metrics.counter("n") == 1
+
+    def test_session_restored_when_block_raises(self):
+        with pytest.raises(RuntimeError):
+            with observability.observe():
+                raise RuntimeError("boom")
+        assert observability.active() is None
+
+    def test_export_spans_round_trips_through_dicts(self):
+        with observability.observe() as session:
+            with observability.span("stage", k=1):
+                observability.count("c")
+        spans = session.export_spans()
+        assert [s.name for s in spans] == ["stage"]
+        clone = Span.from_dict(spans[0].to_dict())
+        assert clone.attributes == {"k": 1}
+        assert clone.end is not None
+
+    def test_write_trace_json(self, tmp_path):
+        path = tmp_path / "spans.json"
+        with observability.observe() as session:
+            with observability.span("stage"):
+                pass
+        write_trace_json(str(path), session.finish())
+        document = json.loads(path.read_text())
+        assert document["schema"] == TRACE_SCHEMA
+        assert document["root"]["name"] == "session"
+        assert document["root"]["children"][0]["name"] == "stage"
+
+
+class TestProfiling:
+    def test_none_path_is_a_passthrough(self):
+        with profile_stage(None):
+            value = sum(range(10))
+        assert value == 45
+
+    def test_writes_pstats_report(self, tmp_path):
+        path = tmp_path / "profile.txt"
+        with profile_stage(str(path)):
+            sum(range(1000))
+        text = path.read_text()
+        assert "function calls" in text

@@ -121,3 +121,63 @@ class TestExperiment:
     def test_unknown_experiment(self):
         with pytest.raises(SystemExit):
             main(["experiment", "fig99"])
+
+
+class TestObservabilityFlags:
+    def test_experiment_writes_trace_and_metrics(self, tmp_path, capsys):
+        import json
+
+        from repro import observability
+        from repro.observability import METRICS_SCHEMA, TRACE_SCHEMA
+
+        trace_path = tmp_path / "spans.json"
+        metrics_path = tmp_path / "metrics.json"
+        code = main(
+            ["experiment", "table1",
+             "--trace-out", str(trace_path),
+             "--metrics-out", str(metrics_path)]
+        )
+        assert code == 0
+        # The session must not leak past the command.
+        assert not observability.enabled()
+        captured = capsys.readouterr()
+        assert "0.26980433" in captured.out
+        assert "hit rate" in captured.err
+        trace = json.loads(trace_path.read_text())
+        assert trace["schema"] == TRACE_SCHEMA
+        assert trace["root"]["name"] == "repro.experiment"
+        assert trace["root"]["end"] is not None
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["schema"] == METRICS_SCHEMA
+        assert "kernels.params_cache.hit_rate" in metrics["derived"]
+
+    def test_bound_records_instrumented_kernels(self, problem_file, tmp_path):
+        import json
+
+        trace_path = tmp_path / "spans.json"
+        metrics_path = tmp_path / "metrics.json"
+        code = main(
+            ["bound", "--problem", str(problem_file), "--method", "exact",
+             "--trace-out", str(trace_path),
+             "--metrics-out", str(metrics_path)]
+        )
+        assert code == 0
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["counters"]["kernels.enumeration.patterns"] > 0
+        trace = json.loads(trace_path.read_text())
+        names = {child["name"] for child in trace["root"]["children"]}
+        assert "bound.exact" in names
+
+    def test_estimate_profile_out(self, problem_file, tmp_path):
+        profile_path = tmp_path / "profile.txt"
+        code = main(
+            ["estimate", "--problem", str(problem_file),
+             "--algorithm", "em-ext",
+             "--profile-out", str(profile_path)]
+        )
+        assert code == 0
+        assert "function calls" in profile_path.read_text()
+
+    def test_flags_default_to_off(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        assert capsys.readouterr().err == ""

@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.extensions",
     "repro.io",
     "repro.network",
+    "repro.observability",
     "repro.parallel",
     "repro.pipeline",
     "repro.resilience",
