@@ -1,0 +1,292 @@
+"""Batched tensor engine vs the serial restart loop (Fig. 7 sizes).
+
+Times ``EMDriver.fit`` with ``restart_mode="serial"`` against
+``restart_mode="batched"`` on Fig. 7-sized problems (n = 20..50, m = 50
+via the estimator defaults) at R ∈ {8, 16} random restarts — same
+seeds, interleaved runs, best-of-N wall clock — and writes the timings
+to ``BENCH_batched.json`` (path overridable via ``REPRO_BENCH_OUT``).
+
+Parity is asserted unconditionally and bitwise: every row's batched fit
+must reproduce the serial scores, parameters, log-likelihood, trace and
+restart selection exactly.
+
+The headline number is the **Fig. 7 sweep aggregate** (total serial
+seconds over the n sweep divided by total batched seconds), because the
+per-size speedup is capped by *lane occupancy*: a batch can never beat
+``total lane iterations / max lane iterations``, and at n = 50 one
+straggler restart typically runs ~3× the median iteration count, capping
+that row near 2.5× no matter how fast the kernels are.  The per-size
+rows and their measured occupancy histograms ride along so the
+aggregate is never mistaken for a uniform per-size claim.
+
+Speedups are *reported* unconditionally but *enforced* only when
+``REPRO_BENCH_ENFORCE=1`` (the CI benchmark job sets it): the sweep
+aggregates must clear the absolute floor in
+``benchmarks/batched_baseline.json`` (3× — the batched engine's
+acceptance target) and every row must stay within ``REGRESSION_FACTOR``
+(1.5×) of its committed baseline figure.
+
+A harness row (``run_simulation`` with ``trial_mode="batched"``) and —
+on multi-core machines only — a lanes-×-workers row
+(``restart_mode="batched"`` under a two-worker pool) demonstrate that
+the lane speedup survives composition; both are reported, not gated,
+because the pool rows measure fork overhead on single-core runners.
+"""
+
+import json
+import math
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro import observability
+from repro.core.em_ext import EMConfig, EMExtEstimator
+from repro.eval import execution_info, machine_info, run_simulation
+from repro.parallel import ParallelConfig
+from repro.synthetic import GeneratorConfig, generate_dataset
+
+pytestmark = pytest.mark.slow
+
+SEED = 2016
+#: Fig. 7 sweep: n = 20..50 over the estimator defaults (m = 50).
+FIT_SIZES = (20, 35, 50)
+RESTART_COUNTS = (8, 16)
+REPS = 3
+#: A row "regresses" when its speedup falls more than this factor below
+#: the committed baseline figure.
+REGRESSION_FACTOR = 1.5
+
+_DEFAULT_OUT = os.path.join(os.path.dirname(__file__), "..", "BENCH_batched.json")
+_BASELINE_PATH = os.path.join(os.path.dirname(__file__), "batched_baseline.json")
+
+
+def _time_pair(old_fn, new_fn, reps):
+    """Interleave serial/batched calls; return (old_best, new_best, old, new)."""
+    old_best = new_best = math.inf
+    old_out = new_out = None
+    for _ in range(reps):
+        start = time.perf_counter()
+        old_out = old_fn()
+        old_best = min(old_best, time.perf_counter() - start)
+        start = time.perf_counter()
+        new_out = new_fn()
+        new_best = min(new_best, time.perf_counter() - start)
+    return old_best, new_best, old_out, new_out
+
+
+def _problem(n_sources):
+    config = GeneratorConfig.estimator_defaults(n_sources=n_sources)
+    return generate_dataset(config, seed=SEED + n_sources).problem.without_truth()
+
+
+def _fit(problem, n_restarts, restart_mode, parallel=None):
+    config = EMConfig(
+        n_restarts=n_restarts,
+        init_strategy="random",
+        restart_mode=restart_mode,
+    )
+    estimator = EMExtEstimator(config, seed=SEED)
+    if parallel is not None:
+        # The estimator API has no parallel knob; go through the driver
+        # exactly as EMExtEstimator.fit does, with a ParallelConfig.
+        from repro.data.coerce import coerce_problem
+        from repro.data.protocol import FORMAT_DENSE
+        from repro.engine.backends import make_backend
+        from repro.engine.driver import EMDriver
+
+        dense = coerce_problem(problem, needs=(FORMAT_DENSE,))
+        backend = make_backend(
+            dense, smoothing=config.smoothing, epsilon=config.epsilon
+        )
+        driver = EMDriver.from_config(config, parallel=parallel)
+        return driver.fit(backend, estimator._initialiser(backend), SEED)
+    return estimator.fit(problem)
+
+
+def _assert_bitwise(serial, batched, label):
+    assert np.array_equal(serial.scores, batched.scores), f"{label}: scores"
+    assert serial.log_likelihood == batched.log_likelihood, f"{label}: ll"
+    for name in ("a", "b", "f", "g"):
+        assert np.array_equal(
+            getattr(serial.parameters, name), getattr(batched.parameters, name)
+        ), f"{label}: rate {name}"
+    assert serial.parameters.z == batched.parameters.z, f"{label}: z"
+    assert serial.health.selected == batched.health.selected, f"{label}: selection"
+    assert serial.trace.log_likelihoods == batched.trace.log_likelihoods, (
+        f"{label}: trace"
+    )
+
+
+def _occupancy(problem, n_restarts):
+    """One untimed batched fit under a session, for the occupancy block."""
+    with observability.observe(root_name="bench.batched.occupancy") as session:
+        _fit(problem, n_restarts, "batched")
+    return session.metrics.snapshot()
+
+
+def _row(serial_seconds, batched_seconds, parity, execution):
+    return {
+        "serial_seconds": round(serial_seconds, 6),
+        "batched_seconds": round(batched_seconds, 6),
+        "speedup": round(serial_seconds / batched_seconds, 3),
+        "parity": parity,
+        "execution": execution,
+    }
+
+
+def _bench_restart_rows(rows):
+    """Per-size serial-vs-batched rows plus the Fig. 7 sweep aggregates."""
+    for n_restarts in RESTART_COUNTS:
+        serial_total = batched_total = 0.0
+        for n in FIT_SIZES:
+            problem = _problem(n)
+            serial_s, batched_s, serial, batched = _time_pair(
+                lambda: _fit(problem, n_restarts, "serial"),
+                lambda: _fit(problem, n_restarts, "batched"),
+                reps=REPS,
+            )
+            label = f"fit_n{n}_m50_r{n_restarts}"
+            _assert_bitwise(serial, batched, label)
+            serial_total += serial_s
+            batched_total += batched_s
+            rows[label] = _row(
+                serial_s,
+                batched_s,
+                f"bitwise ({batched.n_iterations} iterations, "
+                f"restart {batched.health.selected} selected)",
+                execution_info(
+                    batch_size=n_restarts, metrics=_occupancy(problem, n_restarts)
+                ),
+            )
+        rows[f"fig7_aggregate_r{n_restarts}"] = {
+            "serial_seconds": round(serial_total, 6),
+            "batched_seconds": round(batched_total, 6),
+            "speedup": round(serial_total / batched_total, 3),
+            "parity": "aggregate of bitwise-asserted rows",
+            "execution": execution_info(batch_size=n_restarts),
+        }
+
+
+def _series_dict(result):
+    return {
+        name: tuple(series.accuracy) for name, series in result.series.items()
+    }
+
+
+def _bench_harness_row(rows):
+    """run_simulation trial packs: serial vs ``trial_mode="batched"``."""
+    config = GeneratorConfig.estimator_defaults(n_sources=20)
+    kwargs = dict(
+        algorithms=("em-ext",),
+        n_trials=16,
+        seed=SEED,
+        include_optimal=False,
+        em_config=EMConfig(init_strategy="random"),
+    )
+    serial_s, batched_s, serial, batched = _time_pair(
+        lambda: run_simulation(config, **kwargs),
+        lambda: run_simulation(config, trial_mode="batched", **kwargs),
+        reps=REPS,
+    )
+    assert _series_dict(serial) == _series_dict(batched), "harness series"
+    rows["harness_trials_n20_t16"] = _row(
+        serial_s,
+        batched_s,
+        "bit-identical series",
+        execution_info(batch_size=16),
+    )
+
+
+def _bench_parallel_row(rows):
+    """Lane batching × process fan-out (multi-core machines only)."""
+    n, n_restarts = 20, 16
+    problem = _problem(n)
+    serial_s, combined_s, serial, combined = _time_pair(
+        lambda: _fit(problem, n_restarts, "serial"),
+        lambda: _fit(problem, n_restarts, "batched", ParallelConfig(n_jobs=2)),
+        reps=REPS,
+    )
+    serial_result = serial
+    # Driver outcomes lack the EstimationResult wrapper; compare fields.
+    assert np.array_equal(serial_result.scores, combined.posterior), (
+        "parallel+batched: posterior"
+    )
+    assert serial_result.log_likelihood == combined.log_likelihood, (
+        "parallel+batched: ll"
+    )
+    rows[f"fit_n{n}_m50_r{n_restarts}_jobs2"] = _row(
+        serial_s,
+        combined_s,
+        "bitwise (lanes split into per-worker packs)",
+        execution_info(n_jobs=2, batch_size=n_restarts // 2),
+    )
+
+
+def _enforce_baseline(rows):
+    with open(_BASELINE_PATH) as handle:
+        baseline = json.load(handle)
+    failures = []
+    floor = baseline["min_aggregate_speedup"]
+    for n_restarts in RESTART_COUNTS:
+        name = f"fig7_aggregate_r{n_restarts}"
+        measured = rows[name]["speedup"]
+        if measured < floor:
+            failures.append(
+                f"{name}: aggregate {measured}x below the {floor}x acceptance floor"
+            )
+    for name, expected in baseline["speedups"].items():
+        if name not in rows:
+            continue  # the parallel row is machine-dependent
+        measured = rows[name]["speedup"]
+        if measured * REGRESSION_FACTOR < expected:
+            failures.append(
+                f"{name}: measured {measured}x < baseline {expected}x "
+                f"/ {REGRESSION_FACTOR}"
+            )
+    assert not failures, "batched speedup regression:\n" + "\n".join(failures)
+
+
+def test_batched_scaling_writes_bench_json():
+    rows = {}
+    _bench_restart_rows(rows)
+    _bench_harness_row(rows)
+    if (os.cpu_count() or 1) >= 2:
+        _bench_parallel_row(rows)
+
+    report = {
+        "experiment": "batched lane engine vs serial restart loop",
+        "method": (
+            "interleaved serial/batched, best wall-clock over "
+            f"{REPS} repetitions; occupancy from an untimed extra run"
+        ),
+        "config": {
+            "seed": SEED,
+            "fit_sizes": [
+                {"n_sources": n, "n_assertions": 50} for n in FIT_SIZES
+            ],
+            "restart_counts": list(RESTART_COUNTS),
+            "init_strategy": "random",
+        },
+        "machine": machine_info(),
+        "rows": rows,
+        "speedups": {name: row["speedup"] for name, row in rows.items()},
+        "parity": "batched lanes bitwise-equal to serial restarts",
+    }
+    out_path = os.environ.get("REPRO_BENCH_OUT", _DEFAULT_OUT)
+    with open(out_path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+
+    print(f"\nbatched scaling -> {os.path.abspath(out_path)}")
+    for name, row in rows.items():
+        occupancy = (row.get("execution") or {}).get("lane_occupancy")
+        mean = f", mean occupancy {occupancy['mean']}" if occupancy else ""
+        print(
+            f"  {name:>24}: {row['serial_seconds']:7.3f}s -> "
+            f"{row['batched_seconds']:7.3f}s "
+            f"({row['speedup']:5.2f}x{mean})"
+        )
+
+    if os.environ.get("REPRO_BENCH_ENFORCE") == "1":
+        _enforce_baseline(rows)

@@ -40,7 +40,7 @@ from repro.core.model import SourceParameters
 from repro.engine import initialisation
 from repro.engine.backends import DenseBackend
 from repro.engine.driver import EMDriver
-from repro.eval import machine_info
+from repro.eval import execution_info, machine_info
 from repro.kernels.reference import (
     ReferenceDenseBackend,
     reference_exact_bound,
@@ -260,6 +260,9 @@ def test_kernel_micro_writes_bench_json():
             ],
         },
         "machine": machine_info(),
+        # Scalar, single-process exhibit: the execution block pins that
+        # down so its rows compare honestly against batched trajectories.
+        "execution": execution_info(),
         "kernels": rows,
         "speedups": {name: row["speedup"] for name, row in rows.items()},
         "metrics": session.metrics_dict(),

@@ -18,7 +18,7 @@ import time
 import pytest
 
 from repro import observability
-from repro.eval import machine_info, run_simulation
+from repro.eval import execution_info, machine_info, run_simulation
 from repro.parallel import ParallelConfig, cpu_count
 from repro.synthetic import GeneratorConfig
 
@@ -102,6 +102,14 @@ def test_parallel_scaling_writes_bench_json():
             "seed": SEED,
         },
         "machine": machine_info(),
+        # One execution block per variant: the "speedup" column is only
+        # interpretable next to the worker count that produced it.
+        "execution": {
+            label: execution_info(
+                n_jobs=parallel.n_jobs if parallel is not None else None
+            )
+            for label, parallel in variants
+        },
         "timings_seconds": {k: round(v, 4) for k, v in timings.items()},
         "speedup_vs_serial": {
             k: round(serial_seconds / v, 3) for k, v in timings.items()

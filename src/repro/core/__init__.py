@@ -9,7 +9,7 @@ Public surface:
 * :class:`EMExtEstimator` — the dependency-aware EM (Section IV).
 """
 
-from repro.core.em_ext import EMConfig, EMExtEstimator, run_em_ext
+from repro.core.em_ext import EMConfig, EMExtEstimator, fit_em_ext_batch, run_em_ext
 from repro.core.likelihood import (
     column_log_likelihoods,
     data_log_likelihood,
@@ -36,6 +36,7 @@ __all__ = [
     "column_log_likelihoods",
     "data_log_likelihood",
     "emission_probability",
+    "fit_em_ext_batch",
     "pattern_log_joint",
     "posterior_from_log_likelihoods",
     "posterior_truth",

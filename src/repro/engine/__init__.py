@@ -39,6 +39,12 @@ from repro.engine.backends import (
     MaskedDenseBackend,
     make_backend,
 )
+from repro.engine.batched import (
+    BatchedDenseBackend,
+    BatchedLaneResult,
+    BatchedSourceParameters,
+    run_batched_lanes,
+)
 from repro.engine.driver import (
     DriverOutcome,
     EMDriver,
@@ -66,6 +72,9 @@ from repro.engine.statistics import (
 from repro.parallel.config import ParallelConfig
 
 __all__ = [
+    "BatchedDenseBackend",
+    "BatchedLaneResult",
+    "BatchedSourceParameters",
     "CSRBackend",
     "DenseBackend",
     "DriverOutcome",
@@ -83,6 +92,7 @@ __all__ = [
     "log_likelihood_from_columns",
     "make_backend",
     "ratio_update",
+    "run_batched_lanes",
     "stable_posterior",
     "staged_initialisation",
     "support_initialisation",

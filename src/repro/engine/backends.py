@@ -79,6 +79,7 @@ if TYPE_CHECKING:  # pragma: no cover - types only
     from repro.baselines.em_independent import IndependentParameters
     from repro.data.csr import CsrProblem
     from repro.data.protocol import Problem
+    from repro.engine.batched import BatchedDenseBackend
 
 
 def _check_rates_finite(
@@ -96,6 +97,67 @@ def _check_rates_finite(
             "M-step produced non-finite rates; the claim matrix "
             "likely contains NaN or infinite entries"
         )
+
+
+def _dense_partition_ratio(
+    claims: np.ndarray,
+    weight: np.ndarray,
+    mask: np.ndarray,
+    smoothing: float,
+    fallback: np.ndarray,
+) -> np.ndarray:
+    """One dense Equations 10–14 ratio: posterior mass over a cell partition.
+
+    Module-level (rather than a closure in ``m_step``) so the
+    per-iteration path does not rebuild four function objects per call;
+    the computation is verbatim the historical closure body.
+    """
+    return ratio_update(
+        claims @ weight,
+        mask @ weight,
+        smoothing=smoothing,
+        fallback=fallback,
+    )
+
+
+def _csr_partition_ratio(
+    matrix: Any,
+    weight: np.ndarray,
+    denominator: np.ndarray,
+    smoothing: float,
+    fallback: np.ndarray,
+) -> np.ndarray:
+    """One sparse M-step ratio over a precomputed subtracted denominator.
+
+    The subtracted denominator can undershoot the numerator by float
+    rounding; ``clip_ratio`` keeps the update a rate.  Hoisted from
+    ``CSRBackend.m_step`` for the same reason as
+    :func:`_dense_partition_ratio`.
+    """
+    numerator = np.asarray(matrix @ weight).ravel()
+    return ratio_update(
+        numerator,
+        denominator,
+        smoothing=smoothing,
+        fallback=fallback,
+        clip_ratio=True,
+    )
+
+
+def _masked_partition_ratio(
+    sc_mask: np.ndarray,
+    mask: np.ndarray,
+    weight: np.ndarray,
+    smoothing: float,
+    fallback: np.ndarray,
+) -> np.ndarray:
+    """One independence-model ratio over unmasked cells (EM/EM-Social)."""
+    return ratio_update(
+        sc_mask @ weight,
+        mask @ weight,
+        smoothing=smoothing,
+        fallback=fallback,
+    )
 
 
 def _paired_groups(
@@ -189,23 +251,11 @@ class DenseBackend:
         z_post = posterior  # Z_j = P(C_j = 1 | ·)
         y_post = 1.0 - posterior  # Y_j = P(C_j = 0 | ·)
 
-        def _ratio(
-            claims: np.ndarray,
-            weight: np.ndarray,
-            mask: np.ndarray,
-            fallback: np.ndarray,
-        ) -> np.ndarray:
-            return ratio_update(
-                claims @ weight,
-                mask @ weight,
-                smoothing=self.smoothing,
-                fallback=fallback,
-            )
-
-        a = _ratio(self.sc_indep, z_post, self.indep, previous.a)
-        f = _ratio(self.sc_dep, z_post, self.dep, previous.f)
-        b = _ratio(self.sc_indep, y_post, self.indep, previous.b)
-        g = _ratio(self.sc_dep, y_post, self.dep, previous.g)
+        s = self.smoothing
+        a = _dense_partition_ratio(self.sc_indep, z_post, self.indep, s, previous.a)
+        f = _dense_partition_ratio(self.sc_dep, z_post, self.dep, s, previous.f)
+        b = _dense_partition_ratio(self.sc_indep, y_post, self.indep, s, previous.b)
+        g = _dense_partition_ratio(self.sc_dep, y_post, self.dep, s, previous.g)
         z = (  # sum/size is np.mean's own definition, minus dispatch
             float(z_post.sum()) / z_post.size if z_post.size else previous.z
         )
@@ -254,6 +304,19 @@ class DenseBackend:
             posterior_from_log_likelihoods(log_true, log_false, params.z),
             log_likelihood_from_log_columns(log_true, log_false, params.z),
         )
+
+    def batched_lanes(self, n_lanes: int) -> "BatchedDenseBackend":
+        """A batched twin running ``n_lanes`` restarts of *this* problem.
+
+        The lanes share this backend's claim/dependency matrices as
+        broadcast ``(1, n, m)`` views (no copies); see
+        :class:`repro.engine.batched.BatchedDenseBackend`.  The presence
+        of this method is the driver's capability probe for
+        ``restart_mode="batched"``.
+        """
+        from repro.engine.batched import BatchedDenseBackend
+
+        return BatchedDenseBackend.from_backend(self, n_lanes)
 
     def partition_counts(
         self, posterior: np.ndarray
@@ -397,27 +460,11 @@ class CSRBackend:
         dep_z = np.asarray(self.dep @ z_mass).ravel()
         dep_y = np.asarray(self.dep @ y_mass).ravel()
 
-        def _ratio(
-            matrix: Any,
-            weight: np.ndarray,
-            denominator: np.ndarray,
-            fallback: np.ndarray,
-        ) -> np.ndarray:
-            numerator = np.asarray(matrix @ weight).ravel()
-            # The subtracted denominator can undershoot the numerator
-            # by float rounding; clip_ratio keeps the update a rate.
-            return ratio_update(
-                numerator,
-                denominator,
-                smoothing=self.smoothing,
-                fallback=fallback,
-                clip_ratio=True,
-            )
-
-        a = _ratio(self.sc_indep, z_mass, z_total - dep_z, previous.a)
-        f = _ratio(self.sc_dep, z_mass, dep_z, previous.f)
-        b = _ratio(self.sc_indep, y_mass, y_total - dep_y, previous.b)
-        g = _ratio(self.sc_dep, y_mass, dep_y, previous.g)
+        s = self.smoothing
+        a = _csr_partition_ratio(self.sc_indep, z_mass, z_total - dep_z, s, previous.a)
+        f = _csr_partition_ratio(self.sc_dep, z_mass, dep_z, s, previous.f)
+        b = _csr_partition_ratio(self.sc_indep, y_mass, y_total - dep_y, s, previous.b)
+        g = _csr_partition_ratio(self.sc_dep, y_mass, dep_y, s, previous.g)
         z = (
             float(posterior.sum()) / posterior.size
             if posterior.size
@@ -578,16 +625,9 @@ class MaskedDenseBackend:
         z_post = posterior
         y_post = 1.0 - posterior
 
-        def _ratio(weight: np.ndarray, fallback: np.ndarray) -> np.ndarray:
-            return ratio_update(
-                self.sc_mask @ weight,
-                self.mask @ weight,
-                smoothing=self.smoothing,
-                fallback=fallback,
-            )
-
-        t = _ratio(z_post, previous.t)
-        b = _ratio(y_post, previous.b)
+        s = self.smoothing
+        t = _masked_partition_ratio(self.sc_mask, self.mask, z_post, s, previous.t)
+        b = _masked_partition_ratio(self.sc_mask, self.mask, y_post, s, previous.b)
         z = (  # sum/size is np.mean's own definition, minus dispatch
             float(z_post.sum()) / z_post.size if z_post.size else previous.z
         )

@@ -86,6 +86,36 @@ def ratio_update(
     return ratio
 
 
+def batched_ratio_update(
+    numerator: np.ndarray,
+    denominator: np.ndarray,
+    *,
+    smoothing: float = 0.0,
+    fallback: np.ndarray,
+) -> np.ndarray:
+    """Per-lane :func:`ratio_update` over ``(B, n)`` count stacks.
+
+    Lane ``b`` of the result is bit-for-bit ``ratio_update`` of lane
+    ``b``'s counts alone: the pooled shrinkage rate is reduced per lane
+    (``sum(axis=1)`` of a C-contiguous stack keeps the serial 1-D
+    pairwise reduction order), and the scalar-vs-elementwise division
+    producing it is the same IEEE-754 operation either way.  ``fallback``
+    is the ``(B, n)`` previous-parameter stack.
+    """
+    if smoothing != 0.0:
+        pooled_den = denominator.sum(axis=1, keepdims=True)
+        pooled_num = numerator.sum(axis=1, keepdims=True)
+        # Serial uses 0.5 when a lane's partition is globally empty.
+        pooled = np.full_like(pooled_den, 0.5)
+        np.divide(pooled_num, pooled_den, out=pooled, where=pooled_den > 0)
+        numerator = numerator + smoothing * pooled
+        denominator = denominator + smoothing
+    usable = denominator > 0
+    ratio = np.where(usable, 0.0, fallback)
+    np.divide(numerator, denominator, out=ratio, where=usable)
+    return ratio
+
+
 def stable_posterior(
     log_true: np.ndarray, log_false: np.ndarray, z: float
 ) -> np.ndarray:
@@ -213,6 +243,7 @@ __all__ = [
     "CountMap",
     "RATE_NAMES",
     "SufficientStatistics",
+    "batched_ratio_update",
     "log_likelihood_from_columns",
     "ratio_update",
     "stable_posterior",

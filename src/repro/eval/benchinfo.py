@@ -1,10 +1,14 @@
-"""Machine metadata for benchmark reports.
+"""Machine and execution metadata for benchmark reports.
 
 Every benchmark JSON the repo emits (``BENCH_parallel.json``,
-``BENCH_kernels.json``, …) embeds :func:`machine_info` so a number can
-never be read without the hardware context it was measured on — a 1×
-"speedup" on a single-core container and a 4× on an 8-core workstation
-are both honest, but only if the report says which machine produced it.
+``BENCH_kernels.json``, ``BENCH_batched.json``, …) embeds
+:func:`machine_info` so a number can never be read without the hardware
+context it was measured on — a 1× "speedup" on a single-core container
+and a 4× on an 8-core workstation are both honest, but only if the
+report says which machine produced it.  :func:`execution_info` is the
+companion block for *how* the work ran — effective worker count, lanes
+per batched tensor pass, and realised lane occupancy — so BENCH_*.json
+trajectories stay comparable across machines and execution modes.
 """
 
 from __future__ import annotations
@@ -32,4 +36,54 @@ def machine_info() -> Dict[str, Optional[object]]:
     }
 
 
-__all__ = ["machine_info"]
+def execution_info(
+    n_jobs: Optional[int] = None,
+    batch_size: Optional[int] = None,
+    metrics: Optional[dict] = None,
+) -> Dict[str, Optional[object]]:
+    """Describe how a benchmark's work was executed.
+
+    ``n_jobs`` is the requested worker count (``None`` = serial, ``-1``
+    = all cores) and ``effective_n_jobs`` its resolution on this
+    machine; ``batch_size`` is the lanes-per-tensor-pass of the batched
+    engine (``1`` = scalar execution); ``lane_occupancy`` summarises
+    the ``engine.batched.occupancy`` histogram of an observability
+    ``metrics`` snapshot, when one was recorded — mean active lanes per
+    batched pass is the honest denominator behind any batched speedup
+    (a 32-lane pack that averages 3 active lanes cannot beat 3×).
+    """
+    if n_jobs is None:
+        effective = 1
+    elif n_jobs == -1:
+        effective = os.cpu_count() or 1
+    else:
+        effective = n_jobs
+    return {
+        "n_jobs": n_jobs,
+        "effective_n_jobs": effective,
+        "batch_size": 1 if batch_size is None else batch_size,
+        "lane_occupancy": occupancy_summary(metrics),
+    }
+
+
+def occupancy_summary(metrics: Optional[dict]) -> Optional[Dict[str, float]]:
+    """Mean/min/max active lanes from a metrics snapshot, if recorded.
+
+    ``metrics`` is an observability session snapshot
+    (``session.metrics.snapshot()``); returns ``None`` when it carries
+    no ``engine.batched.occupancy`` histogram (scalar runs).
+    """
+    if not metrics:
+        return None
+    histogram = metrics.get("histograms", {}).get("engine.batched.occupancy")
+    if not histogram or not histogram.get("count"):
+        return None
+    return {
+        "passes": histogram["count"],
+        "mean": round(histogram["sum"] / histogram["count"], 3),
+        "min": histogram["min"],
+        "max": histogram["max"],
+    }
+
+
+__all__ = ["execution_info", "machine_info", "occupancy_summary"]

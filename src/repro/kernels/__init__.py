@@ -29,26 +29,36 @@ from repro.kernels.dedup import ColumnGroups, group_columns, group_paired_column
 from repro.kernels.enumeration import gray_pattern_masses, pattern_block
 from repro.kernels.gibbs import BlockedGibbsChains, GibbsTables
 from repro.kernels.likelihood import (
+    batched_column_log_likelihoods,
+    batched_dual_column_log_likelihoods,
     dense_column_log_likelihoods,
+    dual_lane_codes,
+    lane_offset_codes,
     masked_column_log_likelihoods,
 )
 from repro.kernels.tables import (
+    BatchedLogParameterTables,
     IndependenceLogTables,
     LogParameterTables,
     ParamsKeyedCache,
 )
 
 __all__ = [
+    "BatchedLogParameterTables",
     "BlockedGibbsChains",
     "ColumnGroups",
     "GibbsTables",
     "IndependenceLogTables",
     "LogParameterTables",
     "ParamsKeyedCache",
+    "batched_column_log_likelihoods",
+    "batched_dual_column_log_likelihoods",
     "dense_column_log_likelihoods",
     "gray_pattern_masses",
     "group_columns",
     "group_paired_columns",
+    "dual_lane_codes",
+    "lane_offset_codes",
     "masked_column_log_likelihoods",
     "pattern_block",
 ]

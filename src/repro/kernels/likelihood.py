@@ -29,7 +29,11 @@ from typing import Tuple
 
 import numpy as np
 
-from repro.kernels.tables import IndependenceLogTables, LogParameterTables
+from repro.kernels.tables import (
+    BatchedLogParameterTables,
+    IndependenceLogTables,
+    LogParameterTables,
+)
 
 
 def claim_codes(first: np.ndarray, second: np.ndarray) -> np.ndarray:
@@ -81,6 +85,91 @@ def dense_column_log_likelihoods(
     return coded_dense_column_log_likelihoods(flat_claim_codes(sc, dep), tables)
 
 
+def batched_flat_claim_codes(
+    first: np.ndarray, second: np.ndarray
+) -> np.ndarray:
+    """:func:`flat_claim_codes` for ``(L, n, m)`` stacks.
+
+    The row offset ``4·row`` runs along the *source* axis (axis 1 of a
+    stack), which the 2-D helper would mistake for the lane axis.
+    Returns an ``(L, n, m)`` ``intp`` array of flat ``(n, 4)``-table
+    indices, without lane offsets (see :func:`lane_offset_codes`).
+    """
+    codes = claim_codes(first, second)
+    codes += np.arange(codes.shape[1], dtype=np.intp)[None, :, None] * 4
+    return codes
+
+
+def lane_offset_codes(
+    base_codes: np.ndarray, n_sources: int, n_lanes: int
+) -> np.ndarray:
+    """Lift flat ``(n, 4)``-table codes into a ``(B·n, 4)``-table stack.
+
+    ``base_codes`` are :func:`flat_claim_codes` indices, either shared
+    across lanes (``(n, m)`` or ``(1, n, m)``) or per lane
+    (``(B, n, m)``); adding lane ``b`` the offset ``b·4n`` makes them
+    index lane ``b``'s block of the flattened C-contiguous ``(B, n, 4)``
+    table.  Returns a ``(B, n, m)`` ``intp`` array.
+    """
+    offsets = np.arange(n_lanes, dtype=np.intp) * (4 * n_sources)
+    if base_codes.ndim == 2:
+        base_codes = base_codes[None]
+    return base_codes + offsets[:, None, None]
+
+
+def batched_column_log_likelihoods(
+    lane_codes: np.ndarray, tables: BatchedLogParameterTables
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-lane column log-likelihoods from lane-offset flat codes.
+
+    ``lane_codes`` comes from :func:`lane_offset_codes`; the flat
+    ``take`` gathers every lane's cells from the flattened ``(B, n, 4)``
+    tables in one pass, and the axis-1 sum reduces each lane's column
+    with exactly the serial kernel's axis-0 reduction order — so lane
+    ``b`` of the result is bit-for-bit what
+    :func:`coded_dense_column_log_likelihoods` returns for that lane
+    alone.  Returns ``(log_true, log_false)``, each ``(B, m)``.
+    """
+    return (
+        np.take(tables.table_true.reshape(-1), lane_codes).sum(axis=1),
+        np.take(tables.table_false.reshape(-1), lane_codes).sum(axis=1),
+    )
+
+
+def dual_lane_codes(
+    lane_codes: np.ndarray, n_sources: int, n_lanes: int
+) -> np.ndarray:
+    """Stack true/false gather codes for the fused double-table take.
+
+    ``lane_codes`` indexes one flattened ``(B, n, 4)`` table; both
+    tables of a :class:`~repro.kernels.tables.BatchedLogParameterTables`
+    live in a single ``(2, B, n, 4)`` buffer, so offsetting a second
+    copy of the codes by one table's span (``B·n·4``) addresses the
+    false table in the same flat gather.  Returns ``(2, B, n, m)``.
+    """
+    dual = np.empty((2,) + lane_codes.shape, dtype=np.intp)
+    dual[0] = lane_codes
+    np.add(lane_codes, 4 * n_sources * n_lanes, out=dual[1])
+    return dual
+
+
+def batched_dual_column_log_likelihoods(
+    dual_codes: np.ndarray, tables: BatchedLogParameterTables
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Both per-lane column log-likelihoods in one flat gather.
+
+    ``dual_codes`` comes from :func:`dual_lane_codes`.  The single
+    ``take`` over the fused ``(2, B, n, 4)`` buffer gathers exactly the
+    cells the two per-table takes of
+    :func:`batched_column_log_likelihoods` would, and the axis-2 sum
+    reduces each (table, lane, column) triple in the serial axis-0
+    order — bitwise identical results, half the gather dispatch.
+    Returns ``(log_true, log_false)``, each ``(B, m)``.
+    """
+    columns = np.take(tables.tables.reshape(-1), dual_codes).sum(axis=2)
+    return columns[0], columns[1]
+
+
 def coded_masked_column_log_likelihoods(
     flat_codes: np.ndarray, tables: IndependenceLogTables
 ) -> Tuple[np.ndarray, np.ndarray]:
@@ -104,10 +193,15 @@ def masked_column_log_likelihoods(
 
 
 __all__ = [
+    "batched_column_log_likelihoods",
+    "batched_dual_column_log_likelihoods",
+    "batched_flat_claim_codes",
     "claim_codes",
     "coded_dense_column_log_likelihoods",
     "coded_masked_column_log_likelihoods",
     "dense_column_log_likelihoods",
+    "dual_lane_codes",
     "flat_claim_codes",
+    "lane_offset_codes",
     "masked_column_log_likelihoods",
 ]

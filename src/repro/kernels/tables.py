@@ -12,19 +12,22 @@ There is none, by construction: :class:`~repro.core.model.SourceParameters`
 (and the baselines' ``IndependentParameters``) are immutable and every
 M-step returns a fresh instance, so identity (``is``) is a sound cache
 key — a table can never go stale because the parameters it was built
-from can never change.  :class:`ParamsKeyedCache` is the single-slot
-identity cache the backends use; one slot suffices because the EM loop
-only ever works with the current iteration's θ.
+from can never change.  :class:`ParamsKeyedCache` is the identity-keyed
+LRU cache the backends use; the plain EM loop only ever touches the
+current iteration's θ (one warm slot), while interleaved restart
+evaluation and probe/accept patterns alternate between a small handful
+of θ objects, which a few extra slots keep warm.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, TypeVar
+from typing import Callable, List, Tuple, TypeVar
 
 import numpy as np
 
 from repro.observability import count
+from repro.utils.validation import check_positive_int
 
 T = TypeVar("T")
 
@@ -136,31 +139,117 @@ class IndependenceLogTables:
 
 
 class ParamsKeyedCache:
-    """Single-slot cache keyed by parameter-object *identity*.
+    """Small LRU cache keyed by parameter-object *identity*.
 
-    One slot is enough for the EM loop (there is only ever one current
-    θ); identity keying sidesteps both hashing (numpy arrays are
-    unhashable) and staleness (immutable parameters cannot change under
-    the cache).
+    Identity keying sidesteps both hashing (numpy arrays are unhashable)
+    and staleness (immutable parameters cannot change under the cache).
+    The plain EM loop only ever consults the current iteration's θ, so
+    the most-recently-used slot — checked first, one ``is`` comparison —
+    carries virtually all traffic; the remaining slots (four total by
+    default) keep alternating θ probes warm when restart interleaving or
+    probe/accept line-search patterns bounce between a handful of
+    parameter objects that a single slot would thrash on.
     """
 
-    def __init__(self) -> None:
-        self._key: Optional[object] = None
-        self._value: Optional[object] = None
+    def __init__(self, n_slots: int = 4) -> None:
+        check_positive_int(n_slots, "n_slots")
+        self._n_slots = int(n_slots)
+        #: Most-recently-used first.
+        self._slots: List[Tuple[object, object]] = []
 
     def get(self, params, compute: Callable[[], T]) -> T:
         """Return the cached value for ``params``, computing on miss."""
-        if params is not self._key:
-            count("kernels.params_cache.misses")
-            self._value = compute()
-            self._key = params
-        else:
+        slots = self._slots
+        if slots and slots[0][0] is params:
             count("kernels.params_cache.hits")
-        return self._value
+            return slots[0][1]
+        for position in range(1, len(slots)):
+            if slots[position][0] is params:
+                count("kernels.params_cache.hits")
+                slots.insert(0, slots.pop(position))
+                return slots[0][1]
+        count("kernels.params_cache.misses")
+        value = compute()
+        slots.insert(0, (params, value))
+        del slots[self._n_slots :]
+        return value
 
     def clear(self) -> None:
-        self._key = None
-        self._value = None
+        self._slots.clear()
 
 
-__all__ = ["IndependenceLogTables", "LogParameterTables", "ParamsKeyedCache"]
+@dataclass(frozen=True)
+class BatchedLogParameterTables:
+    """Per-lane gather tables for stacked parameter lanes.
+
+    The batched twin of :class:`LogParameterTables`: lane ``b``'s
+    ``table_true[b] / table_false[b]`` hold bit-for-bit the values
+    ``LogParameterTables.build(params.lane(b))`` would produce (the log
+    ufuncs are elementwise, so stacking and strided views change
+    nothing), and ``finite`` records the per-lane validity of the
+    select-based fast kernels so a single degenerate lane sends only
+    *itself* down the careful legacy path.
+
+    Both tables share one C-contiguous ``(2, B, n, 4)`` buffer so the
+    true and false column log-likelihoods can be gathered by a *single*
+    flat ``take`` (see
+    :func:`repro.kernels.likelihood.batched_dual_column_log_likelihoods`).
+    """
+
+    #: ``(2, B, n, 4)`` C-contiguous buffer: ``[0]`` true, ``[1]`` false.
+    tables: np.ndarray
+    #: ``(B,)`` per-lane log z / log(1-z).
+    log_z: np.ndarray
+    log_1z: np.ndarray
+    #: ``(B,)`` bool: lane's logs are all finite.
+    finite: np.ndarray
+
+    @property
+    def table_true(self) -> np.ndarray:
+        return self.tables[0]
+
+    @property
+    def table_false(self) -> np.ndarray:
+        return self.tables[1]
+
+    @classmethod
+    def build(cls, params) -> "BatchedLogParameterTables":
+        """Take all logs of a stacked parameter set.
+
+        ``params`` needs ``rates`` as a ``(B, n, 4)`` stack with column
+        layout ``[a, b, f, g]`` and ``z`` as ``(B,)`` (duck-typed, see
+        :class:`repro.engine.batched.BatchedSourceParameters`).  The
+        interleaved layout means each gather table is filled by two
+        strided ufunc calls over ``(B, n, 2)`` rate slabs instead of
+        eight contiguous ones — same elementwise values, a quarter of
+        the dispatch.
+        """
+        rates = params.rates
+        n_lanes, n = rates.shape[0], rates.shape[1]
+        tables = np.empty((2, n_lanes, n, 4))
+        true_rates = rates[:, :, 0::2]  # [a, f]
+        false_rates = rates[:, :, 1::2]  # [b, g]
+        with np.errstate(divide="ignore"):
+            np.log1p(np.negative(true_rates), out=tables[0, :, :, 0::2])
+            np.log(true_rates, out=tables[0, :, :, 1::2])
+            np.log1p(np.negative(false_rates), out=tables[1, :, :, 0::2])
+            np.log(false_rates, out=tables[1, :, :, 1::2])
+            log_z = np.log(params.z)
+            log_1z = np.log1p(np.negative(params.z))
+        # Same [-inf, 0] sum probe as LogParameterTables.build, reduced
+        # per lane (finiteness is all that matters, not the sum value).
+        finite = np.isfinite(tables.sum(axis=(0, 2, 3)))
+        return cls(
+            tables=tables,
+            log_z=log_z,
+            log_1z=log_1z,
+            finite=finite,
+        )
+
+
+__all__ = [
+    "BatchedLogParameterTables",
+    "IndependenceLogTables",
+    "LogParameterTables",
+    "ParamsKeyedCache",
+]

@@ -170,6 +170,54 @@ class TestDriverParity:
         assert _event_keys(recorders[0]) == _event_keys(recorders[1])
         assert _event_keys(recorders[0]) == _event_keys(recorders[2])
 
+    def test_batched_lanes_split_into_worker_packs_bit_for_bit(self):
+        # restart_mode="batched" + ParallelConfig routes through
+        # _batched_parallel_candidates: lanes are split into per-worker
+        # packs, and the composition must still be bitwise serial.
+        dataset = generate_dataset(CONFIG, seed=17)
+        backend = DenseBackend(dataset.problem.without_truth())
+
+        def initialiser(index, rng):
+            if index == 0:
+                return support_initialisation(backend)
+            return backend.random_params(rng)
+
+        outcomes = []
+        for restart_mode, parallel in (
+            ("serial", None),
+            ("batched", ParallelConfig(n_jobs=N_JOBS)),
+            ("batched", ParallelConfig.serial()),
+        ):
+            driver = EMDriver(
+                max_iterations=80,
+                tolerance=1e-8,
+                n_restarts=4,
+                restart_mode=restart_mode,
+                parallel=parallel,
+            )
+            outcomes.append(driver.fit(backend, initialiser, seed=23))
+        serial = outcomes[0]
+        for other in outcomes[1:]:
+            np.testing.assert_array_equal(serial.posterior, other.posterior)
+            assert serial.log_likelihood == other.log_likelihood
+            for name in ("a", "b", "f", "g"):
+                np.testing.assert_array_equal(
+                    getattr(serial.parameters, name),
+                    getattr(other.parameters, name),
+                )
+            assert serial.parameters.z == other.parameters.z
+            assert list(serial.trace.log_likelihoods) == list(
+                other.trace.log_likelihoods
+            )
+            assert serial.health.selected == other.health.selected
+            assert [
+                (r.index, r.status, r.n_iterations, r.log_likelihood)
+                for r in serial.health.restarts
+            ] == [
+                (r.index, r.status, r.n_iterations, r.log_likelihood)
+                for r in other.health.restarts
+            ]
+
 
 class _FlakySeedFinder:
     """Registry-compatible finder that dies deterministically per seed.

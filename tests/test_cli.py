@@ -73,6 +73,29 @@ class TestEstimate:
         code = main(["estimate", "--problem", str(tmp_path / "missing.json")])
         assert code == 1
 
+    def test_batched_restarts_match_serial(self, problem_file, tmp_path):
+        """--batch is a pure execution-mode switch: identical output."""
+        serial_out = tmp_path / "serial.json"
+        batched_out = tmp_path / "batched.json"
+        base = [
+            "estimate", "--problem", str(problem_file),
+            "--algorithm", "em-ext", "--seed", "7", "--restarts", "4",
+        ]
+        assert main(base + ["--out", str(serial_out)]) == 0
+        assert main(base + ["--batch", "--out", str(batched_out)]) == 0
+        serial = load_result(serial_out)
+        batched = load_result(batched_out)
+        assert serial.scores.tolist() == batched.scores.tolist()
+        assert serial.log_likelihood == batched.log_likelihood
+
+    def test_batch_flag_ignored_for_other_algorithms(self, problem_file, capsys):
+        code = main(
+            ["estimate", "--problem", str(problem_file),
+             "--algorithm", "voting", "--batch"]
+        )
+        assert code == 0
+        assert "apply to em-ext only" in capsys.readouterr().err
+
 
 class TestBound:
     def test_exact_bound(self, problem_file, capsys):
