@@ -7,6 +7,8 @@ Subcommands::
     repro bound       compute the fundamental error bound of a problem
     repro simulate    simulate a Table III Twitter dataset to JSONL
     repro experiment  regenerate one of the paper's tables/figures
+    repro serve       generate/replay request traces for repro.serve
+    repro stream      streaming estimation over claim-batch windows
 
 Every command is deterministic given ``--seed``.  See ``repro <cmd> -h``
 for per-command options.
@@ -46,6 +48,8 @@ from repro.eval import (
     table1_walkthrough,
 )
 from repro.datasets.summary import format_table, summarize_catalog
+from repro.eval.benchinfo import machine_info
+from repro.extensions import StreamingEMExt
 from repro.io import (
     load_problem,
     load_sparse_problem,
@@ -57,6 +61,12 @@ from repro.io import (
 from repro.observability import hit_rate, profile_stage
 from repro.parallel import ParallelConfig
 from repro.resilience.supervisor import Deadline, parse_timespan
+from repro.serve import (
+    ServiceConfig,
+    generate_trace,
+    load_trace,
+    replay_trace,
+)
 from repro.synthetic import GeneratorConfig, empirical_parameters, generate_dataset
 from repro.utils.errors import ReproError
 
@@ -179,6 +189,80 @@ def _build_parser() -> argparse.ArgumentParser:
              "incompatible with --n-jobs)",
     )
     _add_observability_flags(experiment)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="generate and replay request traces for the estimation service",
+    )
+    serve.add_argument(
+        "--generate-trace", default=None, metavar="PATH",
+        help="write a seeded synthetic request trace (JSONL)",
+    )
+    serve.add_argument(
+        "--replay", default=None, metavar="PATH",
+        help="replay a request trace through repro.serve",
+    )
+    serve.add_argument("--requests", type=int, default=200,
+                       help="trace size for --generate-trace (default 200)")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--distinct", type=int, default=None, metavar="K",
+        help="distinct problems in the trace (fewer than --requests "
+             "creates exact repeats that exercise the result cache)",
+    )
+    serve.add_argument("--n-sources", type=int, default=20)
+    serve.add_argument("--n-assertions", type=int, default=50)
+    serve.add_argument(
+        "--init", choices=("random", "staged", "support"), default="random",
+        help="em-ext init strategy written into the trace (default "
+             "random; staged initialisation runs serially per problem "
+             "and hides the micro-batching speedup)",
+    )
+    serve.add_argument("--restarts", type=int, default=1)
+    serve.add_argument(
+        "--mode", choices=("batched", "serial", "both"), default="batched",
+        help="replay through the service, the per-request serial "
+             "baseline, or both (reporting the speedup)",
+    )
+    serve.add_argument(
+        "--verify", action="store_true",
+        help="re-fit every answered request directly and require "
+             "bit-for-bit equal responses (non-zero exit on mismatch)",
+    )
+    serve.add_argument("--max-batch", type=int, default=32, metavar="B",
+                       help="lane budget per micro-batch (default 32)")
+    serve.add_argument("--queue-depth", type=int, default=256, metavar="N",
+                       help="admission limit before backpressure (default 256)")
+    serve.add_argument(
+        "--timeout", default=None, metavar="SPAN",
+        help="per-request deadline, e.g. 500ms or 5s (measured from "
+             "submission; stale requests are rejected, not fitted)",
+    )
+    serve.add_argument("--bench-out", default=None, metavar="PATH",
+                       help="write replay measurements as JSON")
+    _add_observability_flags(serve)
+
+    stream = subparsers.add_parser(
+        "stream", help="streaming estimation over claim-batch windows"
+    )
+    stream.add_argument(
+        "--windows", nargs="+", required=True, metavar="PATH",
+        help="problem files (JSON or NPZ), one per stream window, in "
+             "arrival order; all windows must share the source population",
+    )
+    stream.add_argument("--out", default=None, metavar="PATH",
+                        help="write per-window decisions and parameter "
+                             "snapshots as JSONL")
+    stream.add_argument("--decay", type=float, default=0.95,
+                        help="forgetting factor on accumulated statistics "
+                             "(default 0.95; 1.0 never forgets)")
+    stream.add_argument("--inner-iterations", type=int, default=25)
+    stream.add_argument(
+        "--seed", type=int, default=None,
+        help="cold-start jitter seed (default: the historical "
+             "deterministic cold start)",
+    )
+    _add_observability_flags(stream)
     return parser
 
 
@@ -388,6 +472,149 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import json
+
+    if args.generate_trace is None and args.replay is None:
+        print(
+            "error: serve needs --generate-trace and/or --replay",
+            file=sys.stderr,
+        )
+        return 2
+    if args.generate_trace is not None:
+        n_requests = generate_trace(
+            args.generate_trace,
+            n_requests=args.requests,
+            seed=args.seed,
+            n_sources=args.n_sources,
+            n_assertions=args.n_assertions,
+            distinct_problems=args.distinct,
+            init_strategy=args.init,
+            n_restarts=args.restarts,
+            timeout_seconds=(
+                parse_timespan(args.timeout) if args.timeout is not None else None
+            ),
+        )
+        print(
+            f"wrote {args.generate_trace}: {n_requests} requests "
+            f"({args.n_sources} x {args.n_assertions}, "
+            f"{args.distinct if args.distinct is not None else n_requests} "
+            "distinct problems)"
+        )
+    if args.replay is None:
+        return 0
+    requests = load_trace(args.replay)
+    service_config = ServiceConfig(
+        max_batch_size=args.max_batch,
+        max_queue_depth=args.queue_depth,
+        default_timeout_seconds=(
+            parse_timespan(args.timeout) if args.timeout is not None else None
+        ),
+    )
+    modes = ("batched", "serial") if args.mode == "both" else (args.mode,)
+    reports = {}
+    for mode in modes:
+        # The serial baseline *is* the sequence of direct fits, so
+        # verification only means something on the batched path.
+        report = replay_trace(
+            requests,
+            mode=mode,
+            service_config=service_config,
+            verify=args.verify and mode == "batched",
+        )
+        reports[mode] = report
+        print(report.summary())
+    speedup = None
+    if len(reports) == 2:
+        speedup = (
+            reports["serial"].wall_seconds / reports["batched"].wall_seconds
+        )
+        print(f"speedup (serial wall / batched wall): {speedup:.2f}x")
+    mismatches = sum(report.n_mismatches for report in reports.values())
+    if args.bench_out is not None:
+        document = {
+            "schema": "repro.bench-serve/v1",
+            "experiment": "serve_replay",
+            "trace": args.replay,
+            "n_requests": len(requests),
+            "config": {
+                "max_batch_size": args.max_batch,
+                "max_queue_depth": args.queue_depth,
+                "timeout": args.timeout,
+                "mode": args.mode,
+            },
+            "machine": machine_info(),
+            "rows": {mode: report.to_row() for mode, report in reports.items()},
+            "speedup": speedup,
+            "parity": (
+                {
+                    "verified": sum(r.n_verified for r in reports.values()),
+                    "mismatches": mismatches,
+                }
+                if args.verify
+                else None
+            ),
+        }
+        with open(args.bench_out, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.bench_out}")
+    if mismatches:
+        print(
+            f"error: {mismatches} responses differ from their direct fits",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_stream(args) -> int:
+    import json
+
+    problems = [_load_any_problem(path).without_truth() for path in args.windows]
+    stream = StreamingEMExt(
+        n_sources=problems[0].n_sources,
+        decay=args.decay,
+        inner_iterations=args.inner_iterations,
+        seed=args.seed,
+    )
+    records = []
+    for index, (path, problem) in enumerate(zip(args.windows, problems)):
+        result = stream.partial_fit(problem)
+        n_true = int(result.decisions.sum())
+        print(
+            f"window {index}: {path} -> {n_true}/{result.n_assertions} true, "
+            f"{result.n_iterations} inner iterations"
+            f"{' (converged)' if result.converged else ''}"
+        )
+        parameters = result.parameters
+        records.append(
+            {
+                "window": index,
+                "source": path,
+                "n_assertions": int(result.n_assertions),
+                "n_true": n_true,
+                "converged": bool(result.converged),
+                "n_iterations": int(result.n_iterations),
+                "decisions": [int(value) for value in result.decisions],
+                "scores": [float(value) for value in result.scores],
+                "parameters": {
+                    "a": [float(v) for v in parameters.a],
+                    "b": [float(v) for v in parameters.b],
+                    "f": [float(v) for v in parameters.f],
+                    "g": [float(v) for v in parameters.g],
+                    "z": float(parameters.z),
+                },
+            }
+        )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record) + "\n")
+        print(f"wrote {args.out}: {len(records)} windows")
+    return 0
+
+
 def _run_observed(handler, args) -> int:
     """Run a command handler, honouring the observability flags.
 
@@ -431,6 +658,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bound": _cmd_bound,
         "simulate": _cmd_simulate,
         "experiment": _cmd_experiment,
+        "serve": _cmd_serve,
+        "stream": _cmd_stream,
     }
     try:
         return _run_observed(handlers[args.command], args)

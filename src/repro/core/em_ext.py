@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -50,6 +50,9 @@ from repro.engine.initialisation import staged_initialisation, support_initialis
 from repro.utils.errors import ValidationError
 from repro.utils.rng import RandomState, SeedLike
 from repro.utils.validation import check_positive_int
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.resilience.supervisor import Deadline
 
 
 @dataclass(frozen=True)
@@ -272,6 +275,8 @@ def _batch_lane_outcomes(
     seeds: Sequence[SeedLike],
     config: EMConfig,
     *,
+    initial_parameters: Optional[Sequence[Optional[SourceParameters]]] = None,
+    budget: Optional["Deadline"] = None,
     collect_events: bool = False,
 ) -> List[Tuple[Optional[EstimationResult], list, Optional[Exception]]]:
     """One ``(result, events, error)`` triple per problem, lane-batched.
@@ -295,6 +300,15 @@ def _batch_lane_outcomes(
     budgets the *whole* batch — lanes share each pass's wall clock, so
     a per-problem budget is not separable (timing budgets were never
     bitwise-reproducible anyway).
+
+    ``initial_parameters``, when given, supplies one optional warm
+    start per problem: entry ``t`` plays the role of
+    ``EMExtEstimator(..., initial_parameters=initial_parameters[t])``
+    in the parity contract (``None`` entries keep the config's init
+    strategy).  ``budget``, when given, is a cooperative
+    :class:`~repro.resilience.supervisor.Deadline` checked between
+    batched passes — the serving layer's per-drain admission budget,
+    on top of (not instead of) ``max_wall_seconds``.
     """
     from repro.engine.batched import BatchedDenseBackend, run_batched_lanes
 
@@ -302,18 +316,39 @@ def _batch_lane_outcomes(
         raise ValidationError(
             f"{len(problems)} problems but {len(seeds)} seeds"
         )
+    if initial_parameters is not None and len(initial_parameters) != len(problems):
+        raise ValidationError(
+            f"{len(problems)} problems but {len(initial_parameters)} "
+            "initial parameter sets"
+        )
     driver = EMDriver.from_config(config)
     lane_backends: List[DenseBackend] = []
     lane_params: List[SourceParameters] = []
     #: Per problem: (prepared restart indices, init errors, setup error).
     staged: List[Tuple[Sequence[int], dict, Optional[Exception]]] = []
-    for problem, seed in zip(problems, seeds):
+    for position, (problem, seed) in enumerate(zip(problems, seeds)):
+        warm = (
+            initial_parameters[position]
+            if initial_parameters is not None
+            else None
+        )
         try:
+            # Mirror EMExtEstimator.fit's eager usage-error check so a
+            # mismatched warm start surfaces as the same ValidationError
+            # the scalar path raises (not a per-restart init fault).
+            if warm is not None and warm.n_sources != problem.n_sources:
+                raise ValidationError(
+                    "initial_parameters describe "
+                    f"{warm.n_sources} sources but the "
+                    f"problem has {problem.n_sources}"
+                )
             dense = coerce_problem(problem, needs=(FORMAT_DENSE,))
             backend = make_backend(
                 dense, smoothing=config.smoothing, epsilon=config.epsilon
             )
-            estimator = EMExtEstimator(config, seed=seed)
+            estimator = EMExtEstimator(
+                config, seed=seed, initial_parameters=warm
+            )
             # Warm starts consume the spawned restart generators in
             # serial order, exactly as EMDriver.fit would.
             prepared, init_errors = driver._prepare_restarts(
@@ -338,6 +373,7 @@ def _batch_lane_outcomes(
             max_iterations=config.max_iterations,
             tolerance=config.tolerance,
             deadline=deadline,
+            budget=budget,
             collect_events=collect_events,
         )
         if lane_params
@@ -392,16 +428,22 @@ def fit_em_ext_batch(
     *,
     seeds: Sequence[SeedLike],
     config: Optional[EMConfig] = None,
+    initial_parameters: Optional[Sequence[Optional[SourceParameters]]] = None,
+    budget: Optional["Deadline"] = None,
     callbacks: Sequence[IterationCallback] = (),
 ) -> List[EstimationResult]:
     """Fit EM-Ext on many same-shape problems as one batched tensor pass.
 
     Every problem's restarts become lanes of a single stacked
     ``(B, n, m)`` program (B = problems × restarts); result ``t`` is
-    bit-for-bit what ``EMExtEstimator(config, seed=seeds[t]).fit
-    (problems[t])`` returns — same parameters, posterior, trace, health
-    and restart selection (see the parity wall in
-    ``tests/engine/test_batched.py``).  Requires same-shape problems
+    bit-for-bit what ``EMExtEstimator(config, seed=seeds[t],
+    initial_parameters=initial_parameters[t]).fit(problems[t])``
+    returns — same parameters, posterior, trace, health and restart
+    selection (see the parity wall in
+    ``tests/engine/test_batched.py``).  ``budget`` optionally bounds
+    the whole batch with a cooperative
+    :class:`~repro.resilience.supervisor.Deadline` (the serving
+    layer's drain budget).  Requires same-shape problems
     (CSR input is densified); a problem whose fit would raise re-raises
     the same exception here, after earlier problems' telemetry has been
     delivered.
@@ -414,7 +456,12 @@ def fit_em_ext_batch(
     """
     config = config or EMConfig()
     outcomes = _batch_lane_outcomes(
-        problems, seeds, config, collect_events=bool(callbacks)
+        problems,
+        seeds,
+        config,
+        initial_parameters=initial_parameters,
+        budget=budget,
+        collect_events=bool(callbacks),
     )
     results: List[EstimationResult] = []
     for result, events, error in outcomes:

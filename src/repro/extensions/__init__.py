@@ -1,5 +1,5 @@
 """Extensions beyond the paper's core: streaming estimation."""
 
-from repro.extensions.streaming import StreamingEMExt
+from repro.extensions.streaming import INNER_TOLERANCE, StreamingEMExt
 
-__all__ = ["StreamingEMExt"]
+__all__ = ["INNER_TOLERANCE", "StreamingEMExt"]

@@ -32,8 +32,15 @@ from repro.engine.backends import DenseBackend
 from repro.engine.initialisation import support_posterior
 from repro.engine.statistics import SufficientStatistics
 from repro.utils.errors import DataError, ValidationError
-from repro.utils.rng import SeedLike
+from repro.utils.rng import RandomState, SeedLike
 from repro.utils.validation import check_positive_int
+
+#: Convergence threshold of the inner refinement loop: the posterior is
+#: considered settled once its max absolute change falls below this.
+INNER_TOLERANCE = 1e-8
+
+#: Amplitude of the seeded cold-start jitter (see ``StreamingEMExt``).
+_COLD_START_JITTER = 0.05
 
 
 class StreamingEMExt:
@@ -42,6 +49,15 @@ class StreamingEMExt:
     Every batch must cover the same source population (same row
     indices); assertions are new per batch, as in a live stream where
     each window surfaces fresh statements.
+
+    ``seed`` controls the only stochastic choice the stream makes: a
+    small symmetric jitter applied to the first batch's cold-start
+    support posterior, which decorrelates parallel streams that watch
+    the same window (they would otherwise all start from the identical
+    fixed point).  ``seed=None`` (the default) applies no jitter, so
+    the historical fully-deterministic cold start is preserved
+    bit-for-bit; any other seed is itself deterministic — two streams
+    built with the same seed produce identical results.
 
     Examples
     --------
@@ -111,6 +127,12 @@ class StreamingEMExt:
         The batch's posterior is refined with a few inner EM iterations
         (E-step on the batch, M-step on the decayed global statistics),
         so early batches are not frozen into a cold-start estimate.
+        The returned result reports what that loop actually did:
+        ``n_iterations`` is the number of refinement passes executed
+        and ``converged`` is whether the final posterior change fell
+        below :data:`INNER_TOLERANCE` (a batch that burned the whole
+        ``inner_iterations`` budget without settling reports
+        ``converged=False``).
 
         A batch that fails — invalid shape, non-finite inputs, or a
         failure mid-update — leaves the stream exactly as it was: the
@@ -130,8 +152,17 @@ class StreamingEMExt:
                 # seed the first batch's posterior from dependency-discounted
                 # support (the same warm start the batch estimators use).
                 posterior = support_posterior(backend)
+                if self._seed is not None:
+                    jitter = RandomState(self._seed).uniform(
+                        -_COLD_START_JITTER, _COLD_START_JITTER, posterior.shape
+                    )
+                    posterior = np.clip(
+                        posterior + jitter, self.epsilon, 1.0 - self.epsilon
+                    )
             else:
                 posterior = backend.posterior(self.parameters)
+            n_iterations = 0
+            converged = False
             for _ in range(self.inner_iterations):
                 counts, z_counts = backend.partition_counts(posterior)
                 snapshot = self._stats.merged_rates(
@@ -144,7 +175,9 @@ class StreamingEMExt:
                     else 0.0
                 )
                 posterior = new_posterior
-                if delta < 1e-8:
+                n_iterations += 1
+                if delta < INNER_TOLERANCE:
+                    converged = True
                     break
             if not np.all(np.isfinite(posterior)):
                 raise DataError("batch update produced a non-finite posterior")
@@ -169,9 +202,9 @@ class StreamingEMExt:
             scores=posterior,
             decisions=decisions,
             parameters=self.parameters,
-            converged=True,
-            n_iterations=self.inner_iterations,
+            converged=converged,
+            n_iterations=n_iterations,
         )
 
 
-__all__ = ["StreamingEMExt"]
+__all__ = ["INNER_TOLERANCE", "StreamingEMExt"]

@@ -151,9 +151,17 @@ class ParamsKeyedCache:
     parameter objects that a single slot would thrash on.
     """
 
-    def __init__(self, n_slots: int = 4) -> None:
+    def __init__(
+        self, n_slots: int = 4, *, metric_prefix: str = "kernels.params_cache"
+    ) -> None:
         check_positive_int(n_slots, "n_slots")
         self._n_slots = int(n_slots)
+        # Counter names resolved once at construction so the hot path
+        # never pays for string formatting; the prefix lets other
+        # layers (e.g. the serving warm-start cache) reuse this LRU
+        # under their own metric namespace.
+        self._hits_metric = f"{metric_prefix}.hits"
+        self._misses_metric = f"{metric_prefix}.misses"
         #: Most-recently-used first.
         self._slots: List[Tuple[object, object]] = []
 
@@ -161,14 +169,14 @@ class ParamsKeyedCache:
         """Return the cached value for ``params``, computing on miss."""
         slots = self._slots
         if slots and slots[0][0] is params:
-            count("kernels.params_cache.hits")
+            count(self._hits_metric)
             return slots[0][1]
         for position in range(1, len(slots)):
             if slots[position][0] is params:
-                count("kernels.params_cache.hits")
+                count(self._hits_metric)
                 slots.insert(0, slots.pop(position))
                 return slots[0][1]
-        count("kernels.params_cache.misses")
+        count(self._misses_metric)
         value = compute()
         slots.insert(0, (params, value))
         del slots[self._n_slots :]

@@ -1,0 +1,77 @@
+"""``repro.serve``: the adaptive micro-batching estimation service.
+
+The request-serving surface over the library's estimators: queue
+:class:`EstimationRequest` objects into an :class:`EstimationService`,
+drain them through the adaptive micro-batcher (compatible EM-Ext
+requests share one stacked lane pass; everything else falls back to
+serial fits), and get :class:`EstimationResponse` payloads that are
+bit-for-bit what the direct fits would have returned.  Traces make the
+workload reproducible end-to-end: :func:`generate_trace` writes a
+seeded request stream, :func:`replay_trace` measures it (and can verify
+the parity contract response by response).
+
+See the "Serving" section of ``docs/ARCHITECTURE.md`` for the
+queue → micro-batcher → lanes → response walk-through.
+"""
+
+from repro.serve.batcher import (
+    BATCHABLE_ALGORITHM,
+    PendingRequest,
+    batch_key,
+    plan_batches,
+)
+from repro.serve.fingerprint import (
+    FingerprintCache,
+    problem_fingerprint,
+    request_fingerprint,
+)
+from repro.serve.request import (
+    PATH_BATCHED,
+    PATH_CACHE,
+    PATH_REJECTED,
+    PATH_SERIAL,
+    STATUS_ERROR,
+    STATUS_OK,
+    EstimationRequest,
+    EstimationResponse,
+)
+from repro.serve.service import EstimationService, ServiceConfig, fit_request
+from repro.serve.trace import (
+    MODE_BATCHED,
+    MODE_SERIAL,
+    SERVE_TRACE_SCHEMA,
+    ReplayReport,
+    generate_trace,
+    load_trace,
+    replay_trace,
+    results_bitwise_equal,
+)
+
+__all__ = [
+    "BATCHABLE_ALGORITHM",
+    "EstimationRequest",
+    "EstimationResponse",
+    "EstimationService",
+    "FingerprintCache",
+    "MODE_BATCHED",
+    "MODE_SERIAL",
+    "PATH_BATCHED",
+    "PATH_CACHE",
+    "PATH_REJECTED",
+    "PATH_SERIAL",
+    "PendingRequest",
+    "ReplayReport",
+    "SERVE_TRACE_SCHEMA",
+    "STATUS_ERROR",
+    "STATUS_OK",
+    "ServiceConfig",
+    "batch_key",
+    "fit_request",
+    "generate_trace",
+    "load_trace",
+    "plan_batches",
+    "problem_fingerprint",
+    "replay_trace",
+    "request_fingerprint",
+    "results_bitwise_equal",
+]

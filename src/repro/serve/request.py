@@ -1,0 +1,184 @@
+"""Request/response vocabulary of the estimation service.
+
+A request is one estimation job — a
+:class:`~repro.data.protocol.Problem` plus the algorithm and options a
+direct caller would have passed to ``fit`` — and a response is the
+service's answer for it, tagged with how it was produced.  The tags
+matter because the service's central promise is *path transparency*:
+whether a request was drained through a batched lane pack, fitted
+serially, or answered from the result cache, the payload is bit-for-bit
+what the direct fit would have returned (see
+:mod:`repro.serve.service` for the one documented opt-in exception,
+``warm_start``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.em_ext import EMConfig
+from repro.core.result import FactFindingResult
+from repro.data.protocol import Problem
+from repro.utils.errors import ValidationError
+from repro.utils.rng import SeedLike
+
+#: Response ``path`` tags: how the service produced the payload.
+PATH_BATCHED = "batched"
+PATH_SERIAL = "serial"
+PATH_CACHE = "cache"
+PATH_REJECTED = "rejected"
+
+#: Response ``status`` tags.
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+
+
+@dataclass(frozen=True)
+class EstimationRequest:
+    """One estimation job submitted to the service.
+
+    Attributes
+    ----------
+    request_id:
+        Caller-chosen identifier, echoed on the response.
+    problem:
+        The sensing problem, in either storage format.  CSR problems
+        are always fitted serially (the lane engine is dense-only).
+    algorithm:
+        Registry name of the fact-finder (``"em-ext"`` is the only
+        batchable one; anything else takes the serial path).
+    config:
+        EM hyper-parameters for the EM family; ``None`` means the
+        library defaults (:class:`~repro.core.em_ext.EMConfig`).
+    seed:
+        Forwarded to the algorithm exactly as a direct caller would.
+    timeout_seconds:
+        Per-request wall budget, measured from *submission*: a request
+        still queued when it expires is answered with a structured
+        ``DeadlineExceeded`` error instead of being fitted.
+    warm_start:
+        Opt in to seeding the fit from the service's last answer for
+        an identical problem (by content fingerprint).  This is the
+        one knob that trades the replay-a-direct-fit contract for
+        latency: the response then equals a direct fit *with the same
+        initial parameters*, which may be a different fixed point than
+        the cold-started one.
+    """
+
+    request_id: str
+    problem: Problem
+    algorithm: str = "em-ext"
+    config: Optional[EMConfig] = None
+    seed: SeedLike = None
+    timeout_seconds: Optional[float] = None
+    warm_start: bool = False
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.request_id, str) or not self.request_id:
+            raise ValidationError(
+                f"request_id must be a non-empty string, got {self.request_id!r}"
+            )
+        if not isinstance(self.algorithm, str) or not self.algorithm:
+            raise ValidationError(
+                f"algorithm must be a non-empty string, got {self.algorithm!r}"
+            )
+        if self.timeout_seconds is not None and not self.timeout_seconds > 0:
+            raise ValidationError(
+                f"timeout_seconds must be positive, got {self.timeout_seconds}"
+            )
+
+    @property
+    def effective_config(self) -> EMConfig:
+        """The request's EM configuration with defaults applied."""
+        return self.config if self.config is not None else EMConfig()
+
+
+@dataclass
+class EstimationResponse:
+    """The service's answer for one request.
+
+    ``status`` is ``"ok"`` with a ``result`` payload, or ``"error"``
+    with the failure mirrored as ``error`` (message) and ``error_type``
+    (exception class name) — the same exception a direct fit would have
+    raised, or the service's own admission errors
+    (``CircuitOpenError``, ``DeadlineExceeded``).
+
+    ``queued_seconds`` is time spent waiting in the queue before the
+    drain picked the request up; ``service_seconds`` is time from
+    pick-up to answer (for batched requests: the shared chunk's wall
+    time — lanes are not separable).
+    """
+
+    request_id: str
+    status: str
+    path: str
+    result: Optional[FactFindingResult] = None
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+    queued_seconds: float = 0.0
+    service_seconds: float = 0.0
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the request produced a result."""
+        return self.status == STATUS_OK
+
+    @property
+    def latency_seconds(self) -> float:
+        """Submission-to-answer wall time (queued + service)."""
+        return self.queued_seconds + self.service_seconds
+
+
+def ok_response(
+    request: EstimationRequest,
+    result: FactFindingResult,
+    *,
+    path: str,
+    queued_seconds: float = 0.0,
+    service_seconds: float = 0.0,
+) -> EstimationResponse:
+    """A successful response for ``request``."""
+    return EstimationResponse(
+        request_id=request.request_id,
+        status=STATUS_OK,
+        path=path,
+        result=result,
+        queued_seconds=queued_seconds,
+        service_seconds=service_seconds,
+    )
+
+
+def error_response(
+    request: EstimationRequest,
+    error: BaseException,
+    *,
+    path: str,
+    queued_seconds: float = 0.0,
+    service_seconds: float = 0.0,
+) -> EstimationResponse:
+    """A failure response carrying ``error`` in structured form."""
+    return EstimationResponse(
+        request_id=request.request_id,
+        status=STATUS_ERROR,
+        path=path,
+        error=str(error),
+        error_type=type(error).__name__,
+        queued_seconds=queued_seconds,
+        service_seconds=service_seconds,
+    )
+
+
+__all__ = [
+    "PATH_BATCHED",
+    "PATH_CACHE",
+    "PATH_REJECTED",
+    "PATH_SERIAL",
+    "STATUS_ERROR",
+    "STATUS_OK",
+    "EstimationRequest",
+    "EstimationResponse",
+    "error_response",
+    "ok_response",
+]

@@ -91,3 +91,25 @@ class CircuitOpenError(ReproError):
     :class:`repro.resilience.supervisor.CircuitBreaker` has tripped for
     a consistently-failing operation and the cooldown has not elapsed.
     """
+
+
+class ServiceOverloaded(ReproError):
+    """An estimation service refused to admit a request.
+
+    Raised by :meth:`repro.serve.EstimationService.submit` when the
+    pending queue is at its configured depth limit — backpressure is
+    surfaced to the caller immediately instead of letting the queue
+    (and every queued request's latency) grow without bound.
+
+    Attributes
+    ----------
+    queue_depth / max_queue_depth:
+        Pending requests at refusal time vs. the configured limit.
+    """
+
+    def __init__(
+        self, message: str, *, queue_depth: int = 0, max_queue_depth: int = 0
+    ):
+        super().__init__(message)
+        self.queue_depth = queue_depth
+        self.max_queue_depth = max_queue_depth

@@ -5,8 +5,8 @@ import pytest
 
 from repro.core import SourceParameters
 from repro.extensions import StreamingEMExt
-from repro.synthetic import GeneratorConfig, SyntheticGenerator
-from repro.utils.errors import ValidationError
+from repro.synthetic import GeneratorConfig, SyntheticGenerator, generate_dataset
+from repro.utils.errors import DataError, ValidationError
 
 
 @pytest.fixture
@@ -94,3 +94,164 @@ class TestPartialFit:
         np.testing.assert_array_equal(
             a.partial_fit(blind).scores, b.partial_fit(blind).scores
         )
+
+
+class TestSeed:
+    """Regression wall for the seed that used to be silently ignored."""
+
+    def test_same_seed_is_bitwise_deterministic(self, batch_stream):
+        a = StreamingEMExt(n_sources=20, seed=7)
+        b = StreamingEMExt(n_sources=20, seed=7)
+        for dataset in batch_stream[:2]:
+            blind = dataset.problem.without_truth()
+            ours = a.partial_fit(blind)
+            theirs = b.partial_fit(blind)
+            assert ours.scores.tobytes() == theirs.scores.tobytes()
+        assert a.parameters.max_difference(b.parameters) == 0.0
+
+    def test_different_seeds_decorrelate_cold_starts(self, batch_stream):
+        blind = batch_stream[0].problem.without_truth()
+        first = StreamingEMExt(n_sources=20, seed=7).partial_fit(blind)
+        second = StreamingEMExt(n_sources=20, seed=8).partial_fit(blind)
+        assert not np.array_equal(first.scores, second.scores)
+
+    def test_seed_none_preserves_the_historical_cold_start(self, batch_stream):
+        blind = batch_stream[0].problem.without_truth()
+        unseeded = StreamingEMExt(n_sources=20).partial_fit(blind)
+        explicit_none = StreamingEMExt(n_sources=20, seed=None).partial_fit(
+            blind
+        )
+        seeded = StreamingEMExt(n_sources=20, seed=7).partial_fit(blind)
+        assert unseeded.scores.tobytes() == explicit_none.scores.tobytes()
+        assert not np.array_equal(unseeded.scores, seeded.scores)
+
+    def test_jitter_only_touches_the_first_batch(self, batch_stream):
+        """From batch 2 on, the posterior comes from the learned
+        parameters — the seed's influence flows only through state."""
+        warm = StreamingEMExt(n_sources=20, seed=7)
+        warm.partial_fit(batch_stream[0].problem.without_truth())
+        parameters = warm.parameters
+        continued = StreamingEMExt(
+            n_sources=20, seed=12345, initial_parameters=parameters
+        )
+        continued._stats = warm._stats.copy()
+        continued.n_batches = warm.n_batches
+        reference = StreamingEMExt(
+            n_sources=20, seed=7, initial_parameters=parameters
+        )
+        reference._stats = warm._stats.copy()
+        reference.n_batches = warm.n_batches
+        blind = batch_stream[1].problem.without_truth()
+        assert (
+            continued.partial_fit(blind).scores.tobytes()
+            == reference.partial_fit(blind).scores.tobytes()
+        )
+
+
+class TestReporting:
+    """``converged``/``n_iterations`` must describe what actually ran."""
+
+    def test_tight_budget_reports_not_converged(self, batch_stream):
+        stream = StreamingEMExt(n_sources=20, inner_iterations=3)
+        result = stream.partial_fit(batch_stream[0].problem.without_truth())
+        assert result.n_iterations == 3
+        assert result.converged is False
+
+    def test_ample_budget_reports_actual_iteration_count(self, batch_stream):
+        stream = StreamingEMExt(n_sources=20, inner_iterations=300)
+        result = stream.partial_fit(batch_stream[0].problem.without_truth())
+        assert result.converged is True
+        assert 1 <= result.n_iterations < 300
+
+    def test_failed_batch_leaves_no_report_behind(self, batch_stream):
+        stream = StreamingEMExt(n_sources=20)
+        with pytest.raises(ValidationError):
+            stream.partial_fit(
+                generate_dataset(
+                    GeneratorConfig(n_sources=5, n_assertions=10), seed=1
+                ).problem.without_truth()
+            )
+        assert stream.n_batches == 0
+
+
+class TestRollback:
+    def _poisoned_partial_fit(self, stream, batch, monkeypatch):
+        """Fail the update after the posterior loop, mid-commit."""
+        monkeypatch.setattr(
+            SourceParameters, "is_finite", lambda self: False
+        )
+        with pytest.raises(DataError, match="non-finite parameters"):
+            stream.partial_fit(batch)
+
+    def test_midcommit_failure_restores_the_stream(
+        self, batch_stream, monkeypatch
+    ):
+        stream = StreamingEMExt(n_sources=20)
+        stream.partial_fit(batch_stream[0].problem.without_truth())
+        parameters_before = stream.parameters
+        rates_before = stream._stats.rates(
+            stream.parameters, stream.epsilon
+        )
+        self._poisoned_partial_fit(
+            stream, batch_stream[1].problem.without_truth(), monkeypatch
+        )
+        monkeypatch.undo()
+        assert stream.n_batches == 1
+        assert stream.parameters is parameters_before
+        rates_after = stream._stats.rates(stream.parameters, stream.epsilon)
+        assert rates_before.max_difference(rates_after) == 0.0
+
+    def test_stream_continues_identically_after_a_poisoned_batch(
+        self, batch_stream, monkeypatch
+    ):
+        """A rolled-back batch must not perturb later estimates at all."""
+        poisoned = StreamingEMExt(n_sources=20)
+        clean = StreamingEMExt(n_sources=20)
+        first = batch_stream[0].problem.without_truth()
+        poisoned.partial_fit(first)
+        clean.partial_fit(first)
+        self._poisoned_partial_fit(
+            poisoned, batch_stream[1].problem.without_truth(), monkeypatch
+        )
+        monkeypatch.undo()
+        final = batch_stream[2].problem.without_truth()
+        assert (
+            poisoned.partial_fit(final).scores.tobytes()
+            == clean.partial_fit(final).scores.tobytes()
+        )
+
+
+class TestDecayDrift:
+    def test_fast_decay_tracks_a_regime_change(self):
+        """Sources flip from reliable to unreliable mid-stream; the
+        forgetting stream must follow the new regime more closely than
+        the remember-everything stream."""
+
+        def windows(p_indep_true, seeds):
+            config = GeneratorConfig(
+                n_sources=15, n_assertions=30, p_indep_true=p_indep_true
+            )
+            return [
+                generate_dataset(config, seed=seed).problem.without_truth()
+                for seed in seeds
+            ]
+
+        reliable = windows(0.9, [1, 2, 3])
+        unreliable = windows(0.15, [4, 5, 6])
+        fast = StreamingEMExt(n_sources=15, decay=0.3)
+        slow = StreamingEMExt(n_sources=15, decay=1.0)
+        for window in reliable + unreliable:
+            fast.partial_fit(window)
+            slow.partial_fit(window)
+
+        def separation(stream):
+            # a - b: positive when the stream still believes sources
+            # assert true claims more readily than false ones.
+            return float(
+                stream.parameters.a.mean() - stream.parameters.b.mean()
+            )
+
+        # Both streams are fully deterministic, so a strict inequality
+        # is a stable regression anchor: discounting the reliable phase
+        # pulls the separation further toward the unreliable regime.
+        assert separation(fast) < separation(slow)

@@ -204,3 +204,110 @@ class TestObservabilityFlags:
     def test_flags_default_to_off(self, capsys):
         assert main(["experiment", "table1"]) == 0
         assert capsys.readouterr().err == ""
+
+
+class TestServe:
+    def _trace(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        code = main(
+            ["serve", "--generate-trace", str(path), "--requests", "6",
+             "--distinct", "3", "--seed", "4",
+             "--n-sources", "10", "--n-assertions", "12"]
+        )
+        assert code == 0
+        return path
+
+    def test_requires_an_action(self, capsys):
+        assert main(["serve"]) == 2
+        assert "generate-trace" in capsys.readouterr().err
+
+    def test_generate_trace_writes_jsonl(self, tmp_path, capsys):
+        import json
+
+        path = self._trace(tmp_path)
+        capsys.readouterr()
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 7  # header + 6 requests
+        header = json.loads(lines[0])
+        assert header["schema"] == "repro.serve-trace/v1"
+
+    def test_replay_verifies_and_writes_bench_json(self, tmp_path, capsys):
+        import json
+
+        trace = self._trace(tmp_path)
+        bench = tmp_path / "BENCH_serve.json"
+        code = main(
+            ["serve", "--replay", str(trace), "--mode", "both",
+             "--verify", "--bench-out", str(bench)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verified 6 responses, 0 mismatched" in out
+        assert "speedup" in out
+        doc = json.loads(bench.read_text())
+        assert doc["schema"] == "repro.bench-serve/v1"
+        assert doc["n_requests"] == 6
+        assert set(doc["rows"]) == {"batched", "serial"}
+        assert doc["rows"]["batched"]["path_counts"]["batched"] == 6
+        assert doc["parity"] == {"mismatches": 0, "verified": 6}
+        assert doc["speedup"] > 0
+        assert "machine" in doc
+
+    def test_replay_batched_only(self, tmp_path, capsys):
+        trace = self._trace(tmp_path)
+        assert main(["serve", "--replay", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "batched:" in out and "serial:" not in out
+
+
+class TestStream:
+    def _windows(self, tmp_path, n=2):
+        paths = []
+        for index in range(n):
+            path = tmp_path / f"window-{index}.json"
+            code = main(
+                ["generate", "--out", str(path), "--seed", str(30 + index),
+                 "--n-sources", "12", "--n-assertions", "20"]
+            )
+            assert code == 0
+            paths.append(str(path))
+        return paths
+
+    def test_streams_windows_in_order(self, tmp_path, capsys):
+        windows = self._windows(tmp_path)
+        code = main(["stream", "--windows"] + windows)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "window 0:" in out and "window 1:" in out
+
+    def test_writes_jsonl_snapshots(self, tmp_path, capsys):
+        import json
+
+        windows = self._windows(tmp_path)
+        out_path = tmp_path / "stream.jsonl"
+        code = main(
+            ["stream", "--windows"] + windows
+            + ["--out", str(out_path), "--seed", "5"]
+        )
+        assert code == 0
+        records = [
+            json.loads(line)
+            for line in out_path.read_text().strip().splitlines()
+        ]
+        assert [record["window"] for record in records] == [0, 1]
+        for record in records:
+            assert record["n_assertions"] == 20
+            assert len(record["decisions"]) == 20
+            assert set(record["parameters"]) == {"a", "b", "f", "g", "z"}
+            assert isinstance(record["converged"], bool)
+
+    def test_seeded_stream_is_deterministic(self, tmp_path, capsys):
+        windows = self._windows(tmp_path)
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        for out in (a, b):
+            assert main(
+                ["stream", "--windows"] + windows
+                + ["--out", str(out), "--seed", "9"]
+            ) == 0
+        assert a.read_bytes() == b.read_bytes()

@@ -25,6 +25,7 @@ PACKAGES = [
     "repro.parallel",
     "repro.pipeline",
     "repro.resilience",
+    "repro.serve",
     "repro.sparse",
     "repro.synthetic",
     "repro.utils",
